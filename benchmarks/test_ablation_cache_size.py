@@ -1,0 +1,74 @@
+"""Ablation: code-cache pool size and the flush policy.
+
+The paper reserves 512MB, split evenly between code and data pools, and
+flushes everything when a pool fills ("none of the benchmarks triggered a
+code cache flush" at that size).  This ablation sweeps the pool size on
+the largest-footprint benchmark to show the regime change: ample pools
+never flush; undersized pools flush repeatedly, discarding and
+re-translating code, and VM overhead climbs.
+"""
+
+from repro.analysis.report import format_table
+from repro.vm.engine import VMConfig
+from repro.workloads.harness import run_vm
+
+#: Pool-size fractions of the default, swept from ample to starved.
+SWEEP = (1.0, 0.25, 0.05, 0.02, 0.01)
+
+_DEFAULT_CODE = 64 * 1024
+_DEFAULT_DATA = 256 * 1024
+
+
+def _sweep(spec_suite):
+    workload = spec_suite["176.gcc"]
+    rows = []
+    for fraction in SWEEP:
+        config = VMConfig(
+            code_pool_bytes=max(1024, int(_DEFAULT_CODE * fraction)),
+            data_pool_bytes=max(4096, int(_DEFAULT_DATA * fraction)),
+        )
+        result = run_vm(workload, "ref-1", vm_config=config)
+        rows.append(
+            {
+                "pool_fraction": fraction,
+                "code_pool": config.code_pool_bytes,
+                "data_pool": config.data_pool_bytes,
+                "flushes": result.stats.cache_flushes,
+                "translations": result.stats.traces_translated,
+                "total_cycles": result.stats.total_cycles,
+                "vm_overhead_pct": 100 * result.stats.overhead_fraction(),
+            }
+        )
+    return rows
+
+
+def test_ablation_cache_pool_size(benchmark, spec_suite, record):
+    rows = benchmark.pedantic(_sweep, args=(spec_suite,), rounds=1, iterations=1)
+
+    record(
+        "ablation_cache_size",
+        format_table(
+            rows,
+            columns=["pool_fraction", "code_pool", "data_pool", "flushes",
+                     "translations", "total_cycles", "vm_overhead_pct"],
+            title="Ablation: code-cache pool size sweep (176.gcc, ref-1)",
+        ),
+    )
+
+    ample, *rest = rows
+    starved = rows[-1]
+
+    # Ample pools: footprint fits, no flush (the paper's configuration).
+    assert ample["flushes"] == 0
+
+    # Starved pools: repeated flushes and re-translation.
+    assert starved["flushes"] > 0
+    assert starved["translations"] > ample["translations"]
+    assert starved["total_cycles"] > ample["total_cycles"]
+
+    # Shrinking pools never reduces translation work below the flush-free
+    # configuration (exact counts depend on flush timing, so compare to
+    # the ample row rather than pairwise).
+    for row in rest:
+        assert row["translations"] >= ample["translations"]
+        assert row["total_cycles"] >= ample["total_cycles"]

@@ -1,0 +1,71 @@
+"""Ablation: maximum trace length.
+
+Pin-style traces end at an unconditional transfer *or* a fixed
+instruction-count limit.  The limit trades translation-unit granularity
+against code duplication: shorter traces mean more trace objects, more
+exits/links and more per-trace fixed compile cost; longer traces amortize
+the fixed cost but past the point where unconditional transfers dominate
+trace endings, raising the limit changes nothing.
+"""
+
+from repro.analysis.report import format_table
+from repro.vm.engine import VMConfig
+from repro.workloads.harness import run_vm
+
+LIMITS = (4, 8, 16, 24, 48)
+
+
+def _sweep(spec_suite):
+    workload = spec_suite["176.gcc"]
+    rows = []
+    for limit in LIMITS:
+        result = run_vm(
+            workload, "ref-1", vm_config=VMConfig(max_trace_insts=limit)
+        )
+        rows.append(
+            {
+                "max_trace_insts": limit,
+                "traces": result.stats.traces_translated,
+                "translation_cycles": result.stats.translation_cycles,
+                "dispatch_cycles": result.stats.dispatch_cycles,
+                "total_cycles": result.stats.total_cycles,
+                "code_bytes": result.cache_code_bytes,
+                "data_bytes": result.cache_data_bytes,
+            }
+        )
+    return rows
+
+
+def test_ablation_trace_length(benchmark, spec_suite, record):
+    rows = benchmark.pedantic(_sweep, args=(spec_suite,), rounds=1, iterations=1)
+
+    record(
+        "ablation_trace_length",
+        format_table(
+            rows,
+            columns=["max_trace_insts", "traces", "translation_cycles",
+                     "dispatch_cycles", "total_cycles", "code_bytes",
+                     "data_bytes"],
+            title="Ablation: max trace length sweep (176.gcc, ref-1)",
+        ),
+    )
+
+    by_limit = {row["max_trace_insts"]: row for row in rows}
+
+    # Shorter traces -> strictly more trace objects.
+    trace_counts = [row["traces"] for row in rows]
+    assert trace_counts == sorted(trace_counts, reverse=True)
+
+    # Tiny traces pay heavily in per-trace fixed cost and dispatch.
+    assert by_limit[4]["total_cycles"] > 1.15 * by_limit[24]["total_cycles"]
+
+    # Past the terminator-dominated regime the limit stops mattering:
+    # generated functions rarely run 24+ instructions without a transfer.
+    delta = abs(
+        by_limit[48]["total_cycles"] - by_limit[24]["total_cycles"]
+    ) / by_limit[24]["total_cycles"]
+    assert delta < 0.05
+
+    # The data pool dominates at every granularity (Figure 9 holds).
+    for row in rows:
+        assert row["data_bytes"] > row["code_bytes"]

@@ -1,0 +1,104 @@
+"""Extension experiment: performance over a regression-test sequence.
+
+The paper's deployment argument (§2.2, §6): in environments like Gcc's
+several-hundred-file test suite or Oracle's 100,000 tests, per-test
+translation cost never amortizes inside a test, but the persistent cache
+accumulates across tests so "performance improves over time".  This
+extension quantifies the cost curve over a mixed sequence of gcc-analog
+compilations (rotating inputs) and full Oracle unit tests, with and
+without persistence.
+"""
+
+from conftest import fresh_db
+
+from repro.analysis.report import format_table
+from repro.workloads.oracle import PHASES
+from repro.workloads.regression import RegressionDriver, round_robin_cases
+
+
+def _gcc_case_list(spec_suite, rounds):
+    gcc = spec_suite["176.gcc"]
+    inputs = ["ref-%d" % i for i in range(1, 6)]
+    return round_robin_cases(gcc, inputs, rounds)
+
+
+def _sweep(spec_suite, oracle_workload, tmp_path_factory):
+    results = {}
+    for label, cases in (
+        ("gcc-testsuite", _gcc_case_list(spec_suite, rounds=3)),
+        ("oracle-unit-tests",
+         round_robin_cases(oracle_workload, list(PHASES), rounds=3)),
+    ):
+        persistent = RegressionDriver(
+            fresh_db(tmp_path_factory, label + "-p")
+        ).run_sequence(cases)
+        baseline = RegressionDriver(
+            fresh_db(tmp_path_factory, label + "-b"), persistence_enabled=False
+        ).run_sequence(cases)
+        results[label] = (persistent, baseline)
+    return results
+
+
+def test_extension_regression_farm(
+    benchmark, spec_suite, oracle_workload, record, tmp_path_factory
+):
+    results = benchmark.pedantic(
+        _sweep,
+        args=(spec_suite, oracle_workload, tmp_path_factory),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for label, (persistent, baseline) in results.items():
+        per_round = len(persistent.outcomes) // 3
+        rounds_p = [
+            sum(persistent.cycles_by_test()[i * per_round:(i + 1) * per_round])
+            for i in range(3)
+        ]
+        rounds_b = [
+            sum(baseline.cycles_by_test()[i * per_round:(i + 1) * per_round])
+            for i in range(3)
+        ]
+        rows.append(
+            {
+                "sequence": label,
+                "round1_persist": rounds_p[0],
+                "round2_persist": rounds_p[1],
+                "round3_persist": rounds_p[2],
+                "round_baseline": rounds_b[0],
+                "steady_speedup_x": rounds_b[2] / rounds_p[2],
+                "translations_persist": persistent.total_translations,
+                "translations_baseline": baseline.total_translations,
+            }
+        )
+    record(
+        "extension_regression_farm",
+        format_table(
+            rows,
+            columns=["sequence", "round1_persist", "round2_persist",
+                     "round3_persist", "round_baseline", "steady_speedup_x",
+                     "translations_persist", "translations_baseline"],
+            title="Extension: regression-farm cost curve (cycles per round)",
+        ),
+    )
+
+    for label, (persistent, baseline) in results.items():
+        # Without persistence every round costs the same; with it, costs
+        # drop after round 1 and stay down ("improves over time").
+        warm = persistent.warmup_point()
+        assert warm is not None and warm <= len(persistent.outcomes) // 3, label
+        per_round = len(persistent.outcomes) // 3
+        round1 = sum(persistent.cycles_by_test()[:per_round])
+        round3 = sum(persistent.cycles_by_test()[2 * per_round:])
+        assert round3 < 0.92 * round1, label
+        # Steady state translates nothing.
+        assert all(
+            outcome.traces_translated == 0
+            for outcome in persistent.outcomes[2 * per_round:]
+        ), label
+        # Baseline shows no learning.
+        base_rounds = baseline.cycles_by_test()
+        assert sum(base_rounds[:per_round]) == sum(base_rounds[2 * per_round:])
+        # Total translation work collapses with persistence.
+        assert persistent.total_translations < 0.5 * baseline.total_translations

@@ -1,0 +1,56 @@
+"""Figure 2(a): SPEC2K behaviour under the VM (translation timelines).
+
+Regenerates the translation-request timeline for every SPEC2K INT analog
+on its first Reference input: dense vertical lines at startup, quiet
+steady state — except 176.gcc, which keeps translating throughout and
+spends most of its time generating code.
+"""
+
+from repro.analysis.timeline import (
+    render_timeline,
+    startup_dominated,
+    summarize_timeline,
+)
+from repro.workloads.harness import run_vm
+
+
+def _sweep(spec_suite):
+    rows = {}
+    for name, workload in sorted(spec_suite.items()):
+        result = run_vm(workload, "ref-1")
+        rows[name] = result
+    return rows
+
+
+def test_fig2a_translation_timelines(benchmark, spec_suite, record):
+    rows = benchmark.pedantic(_sweep, args=(spec_suite,), rounds=1, iterations=1)
+
+    lines = ["Figure 2(a): translation-request timeline (| = VM translation)"]
+    for name, result in rows.items():
+        summary = summarize_timeline(result.stats)
+        lines.append(
+            "%-12s [%s] events=%4d late=%4.0f%% vm_overhead=%4.0f%%"
+            % (
+                name,
+                render_timeline(result.stats, width=64),
+                summary.total_events,
+                100 * summary.late_fraction,
+                100 * result.stats.overhead_fraction(),
+            )
+        )
+    record("fig2a_timeline", "\n".join(lines))
+
+    # Shape assertions: every benchmark except gcc front-loads its
+    # translations; gcc keeps discovering code all run long.
+    for name, result in rows.items():
+        summary = summarize_timeline(result.stats)
+        if name == "176.gcc":
+            assert summary.late_fraction > 0.25, summary
+            assert not startup_dominated(result.stats)
+            assert result.stats.overhead_fraction() > 0.25
+        else:
+            assert summary.early_fraction > 0.5, (name, summary)
+
+    benchmark.extra_info["gcc_overhead_fraction"] = rows[
+        "176.gcc"
+    ].stats.overhead_fraction()

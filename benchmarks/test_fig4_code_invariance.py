@@ -1,0 +1,60 @@
+"""Figure 4: code coverage (invariance) between executions.
+
+Regenerates the scale of average inter-execution code coverage: gzip and
+bzip2 cluster near 100% (all inputs exercise identical code); gcc,
+perlbmk and vpr sit lower; Oracle's phases are lowest at ~55%.
+"""
+
+from repro.analysis.coverage import average_cross_coverage
+from repro.analysis.report import format_bar_chart
+from repro.workloads.harness import run_vm
+from repro.workloads.oracle import PHASES
+from repro.workloads.spec2k import MULTI_INPUT_BENCHMARKS
+
+
+def _footprints(workload, input_names):
+    return {
+        name: run_vm(workload, name).stats.trace_identities
+        for name in input_names
+    }
+
+
+def _sweep(spec_suite, oracle_workload):
+    averages = {}
+    for name in MULTI_INPUT_BENCHMARKS:
+        workload = spec_suite[name]
+        input_names = [n for n in workload.inputs if n.startswith("ref-")]
+        averages[name] = average_cross_coverage(
+            _footprints(workload, input_names)
+        )
+    averages["Oracle"] = average_cross_coverage(
+        _footprints(oracle_workload, PHASES)
+    )
+    return averages
+
+
+def test_fig4_code_invariance_scale(
+    benchmark, spec_suite, oracle_workload, record
+):
+    averages = benchmark.pedantic(
+        _sweep, args=(spec_suite, oracle_workload), rounds=1, iterations=1
+    )
+
+    ordered = dict(sorted(averages.items(), key=lambda kv: -kv[1]))
+    record(
+        "fig4_code_invariance",
+        format_bar_chart(
+            {k: 100 * v for k, v in ordered.items()},
+            title="Figure 4: average inter-execution code coverage (%)",
+            unit="%",
+        ),
+    )
+
+    # Paper's ordering: gzip/bzip2 ~100% > gcc > {perlbmk, vpr} > Oracle.
+    assert averages["164.gzip"] > 0.97
+    assert averages["256.bzip2"] > 0.97
+    assert averages["176.gcc"] < averages["164.gzip"]
+    assert averages["253.perlbmk"] < averages["176.gcc"]
+    assert averages["175.vpr"] < 0.95
+    assert averages["Oracle"] == min(averages.values())
+    assert 0.35 < averages["Oracle"] < 0.70

@@ -1,0 +1,118 @@
+"""Figures 7(a) and 7(b): time savings under persistent cache accumulation.
+
+For each evaluated input, persistent caches of the *other* inputs are
+accumulated one at a time (Set 1 ⊂ Set 2 ⊂ ...), and the input runs
+primed with each accumulated set.  Accumulation closes the gap to
+same-input persistence: quickly for gcc (high cross-input coverage),
+progressively for Oracle (low coverage, so each phase contributes
+meaningful new code).
+"""
+
+from conftest import baseline_vm, fresh_db
+
+from repro.analysis.report import format_table
+from repro.persist.manager import PersistenceConfig
+from repro.workloads.harness import run_vm
+from repro.workloads.oracle import PHASES
+
+
+def _accumulation_row(workload, target, donors, tmp_path_factory):
+    """Baseline, Set1..SetN times, and same-input time for one target."""
+    times = {"no-cache": baseline_vm(workload, target).stats.total_cycles}
+    db = fresh_db(tmp_path_factory, "%s-%s-acc" % (workload.name, target))
+    for set_index, donor in enumerate(donors, start=1):
+        # Accumulate the donor's translations into the shared cache.
+        run_vm(workload, donor, persistence=PersistenceConfig(database=db))
+        measured = run_vm(
+            workload, target,
+            persistence=PersistenceConfig(database=db, readonly=True),
+        )
+        times["set-%d" % set_index] = measured.stats.total_cycles
+    same_db = fresh_db(tmp_path_factory, "%s-%s-same" % (workload.name, target))
+    run_vm(workload, target, persistence=PersistenceConfig(database=same_db))
+    same = run_vm(
+        workload, target,
+        persistence=PersistenceConfig(database=same_db, readonly=True),
+    )
+    times["same-input"] = same.stats.total_cycles
+    return times
+
+
+def _sweep(workload, input_names, tmp_path_factory):
+    rows = {}
+    for target in input_names:
+        donors = [name for name in input_names if name != target]
+        rows[target] = _accumulation_row(
+            workload, target, donors, tmp_path_factory
+        )
+    return rows
+
+
+def _run(spec_suite, oracle_workload, tmp_path_factory):
+    gcc_inputs = ["ref-%d" % i for i in range(1, 6)]
+    gcc = _sweep(spec_suite["176.gcc"], gcc_inputs, tmp_path_factory)
+    oracle = _sweep(oracle_workload, list(PHASES), tmp_path_factory)
+    return gcc, oracle
+
+
+def _format(rows, title):
+    columns = ["input"] + list(next(iter(rows.values())).keys())
+    table = [dict({"input": target}, **times) for target, times in rows.items()]
+    return format_table(table, columns=columns, title=title)
+
+
+def _check(rows, set_count):
+    for target, times in rows.items():
+        base = times["no-cache"]
+        same = times["same-input"]
+        sets = [times["set-%d" % k] for k in range(1, set_count + 1)]
+        # Every accumulated cache beats running without persistence.
+        assert all(value < base for value in sets), target
+        # Accumulation never makes things worse (small tolerance for the
+        # demand-load costs of extra resident traces).
+        for earlier, later in zip(sets, sets[1:]):
+            assert later <= earlier * 1.03, (target, sets)
+        # The final set approaches same-input persistence (loosest for
+        # poorly covered inputs like Oracle's Start phase, which the paper
+        # also reports as the least-benefiting input).
+        assert sets[-1] <= same * 2.0, (target, sets[-1], same)
+
+
+def test_fig7_persistent_cache_accumulation(
+    benchmark, spec_suite, oracle_workload, record, tmp_path_factory
+):
+    gcc_rows, oracle_rows = benchmark.pedantic(
+        _run,
+        args=(spec_suite, oracle_workload, tmp_path_factory),
+        rounds=1,
+        iterations=1,
+    )
+
+    record(
+        "fig7_accumulation",
+        _format(gcc_rows, "Figure 7(a): 176.gcc accumulation (cycles)")
+        + "\n\n"
+        + _format(oracle_rows, "Figure 7(b): Oracle accumulation (cycles)"),
+    )
+
+    _check(gcc_rows, set_count=4)
+    _check(oracle_rows, set_count=4)
+
+    # gcc: high coverage means Set 1 is already close to same-input
+    # (paper: "benefits from accumulating more than two caches are not
+    # substantial").
+    for target, times in gcc_rows.items():
+        assert times["set-1"] <= times["same-input"] * 1.25, target
+
+    # Oracle: accumulation meaningfully improves over Set 1 for the
+    # phases whose code arrives late (paper: Set 3's Open contribution).
+    improvements = [
+        times["set-4"] / times["set-1"] for times in oracle_rows.values()
+    ]
+    assert min(improvements) < 0.85
+
+    # Paper: aggregation narrows well-covered phases to within ~25% of
+    # same-input persistence (the paper reports 22% on average).
+    for phase in ("Mount", "Close"):
+        times = oracle_rows[phase]
+        assert times["set-4"] <= times["same-input"] * 1.25, phase

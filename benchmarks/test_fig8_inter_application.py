@@ -1,0 +1,127 @@
+"""Figure 8: time savings under inter-application persistence.
+
+Per application: startup time without persistence, with same-input
+persistence, with a *library-only* cache of itself (isolating the maximum
+achievable from library code alone), and primed with every other
+application's persistent cache (the inter-application mode, readonly).
+
+The paper reports ~59% average inter-application improvement — large, but
+below same-input persistence, partly because identical libraries loaded
+at different addresses cannot be reused without position-independent
+translations (see the relocatable ablation benchmark).
+"""
+
+import os
+
+from conftest import baseline_vm, fresh_db
+
+from repro.analysis.overhead import improvement_percent
+from repro.analysis.report import format_table
+from repro.persist.cachefile import PersistentCache
+from repro.persist.manager import PersistenceConfig
+from repro.workloads.harness import run_vm
+
+
+def _library_only(cache: PersistentCache) -> PersistentCache:
+    """A copy of ``cache`` holding only shared-library traces."""
+    clone = PersistentCache.from_bytes(cache.to_bytes())
+    app_identities = {
+        trace.identity
+        for trace in clone.traces
+        if not trace.image_path.startswith("lib")
+    }
+    clone.drop_traces(app_identities)
+    return clone
+
+
+def _load_cache(db) -> PersistentCache:
+    entry = db.entries()[0]
+    return PersistentCache.load(os.path.join(db.directory, entry.filename))
+
+
+def _sweep(gui_suite, tmp_path_factory):
+    names = sorted(gui_suite)
+    caches = {}
+    for name in names:
+        db = fresh_db(tmp_path_factory, "fig8-" + name)
+        run_vm(gui_suite[name], "startup",
+               persistence=PersistenceConfig(database=db))
+        caches[name] = _load_cache(db)
+
+    cells = {}
+    for target in names:
+        app = gui_suite[target]
+        base = baseline_vm(app, "startup")
+        cells[(target, "no-cache")] = base.stats.total_cycles
+        same = run_vm(
+            app, "startup",
+            persistence=PersistenceConfig(prime_with=caches[target],
+                                          readonly=True),
+        )
+        cells[(target, "same-input")] = same.stats.total_cycles
+        lib_only = run_vm(
+            app, "startup",
+            persistence=PersistenceConfig(
+                prime_with=_library_only(caches[target]), readonly=True
+            ),
+        )
+        cells[(target, "lib-cache-self")] = lib_only.stats.total_cycles
+        for donor in names:
+            if donor == target:
+                continue
+            crossed = run_vm(
+                app, "startup",
+                persistence=PersistenceConfig(
+                    prime_with=caches[donor],
+                    inter_application=True,
+                    readonly=True,
+                ),
+            )
+            cells[(target, "cache:" + donor)] = crossed.stats.total_cycles
+    return names, cells
+
+
+def test_fig8_inter_application(benchmark, gui_suite, record, tmp_path_factory):
+    names, cells = benchmark.pedantic(
+        _sweep, args=(gui_suite, tmp_path_factory), rounds=1, iterations=1
+    )
+
+    columns = ["app", "no-cache", "same-input", "lib-cache-self"] + [
+        "cache:" + donor for donor in names
+    ]
+    table = []
+    for target in names:
+        row = {"app": target}
+        for column in columns[1:]:
+            row[column] = cells.get((target, column))
+        table.append(row)
+    record(
+        "fig8_inter_application",
+        format_table(table, columns=columns,
+                     title="Figure 8: inter-application persistence (cycles)"),
+    )
+
+    gains = []
+    for target in names:
+        base = cells[(target, "no-cache")]
+        same = cells[(target, "same-input")]
+        lib_self = cells[(target, "lib-cache-self")]
+        # Library code alone captures most of the same-input benefit
+        # (paper: "within a second or two of same-input persistence").
+        assert same < lib_self < base
+        assert (lib_self - same) / (base - same) < 0.40, target
+        for donor in names:
+            if donor == target:
+                continue
+            crossed = cells[(target, "cache:" + donor)]
+            # Inter-application reuse always helps, never exceeds the
+            # library-only ceiling of the target's own cache.
+            assert crossed < base, (target, donor)
+            assert crossed >= same, (target, donor)
+            gains.append(improvement_percent(base, crossed))
+
+    average_gain = sum(gains) / len(gains)
+    # Paper: ~59% average; the scaled reproduction bands at 35-70%.
+    assert 35 < average_gain < 70, average_gain
+
+    benchmark.extra_info["avg_inter_app_improvement"] = average_gain

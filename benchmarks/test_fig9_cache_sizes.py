@@ -1,0 +1,95 @@
+"""Figure 9: persistent code cache sizes.
+
+Regenerates the stacked-bar data: for every workload's persistent cache,
+the bytes consumed by persisted traces (code pool) and by their data
+structures (data pool).  The paper's observations: most SPEC caches are
+small, gcc's is the largest SPEC cache, GUI/Oracle caches are larger
+still, and — "interestingly" — the data structures consume more memory
+than the traces themselves.
+"""
+
+import os
+
+from conftest import fresh_db
+
+from repro.analysis.report import format_table
+from repro.persist.cachefile import PersistentCache
+from repro.persist.manager import PersistenceConfig
+from repro.workloads.harness import run_vm
+from repro.workloads.oracle import PHASES
+
+
+def _cache_after(workload, input_names, tmp_path_factory):
+    db = fresh_db(tmp_path_factory, "fig9-" + workload.name)
+    for input_name in input_names:
+        run_vm(workload, input_name, persistence=PersistenceConfig(database=db))
+    entry = db.entries()[0]
+    return PersistentCache.load(os.path.join(db.directory, entry.filename))
+
+
+def _sweep(spec_suite, gui_suite, oracle_workload, tmp_path_factory):
+    sizes = {}
+    for name, workload in sorted(spec_suite.items()):
+        cache = _cache_after(workload, ["ref-1"], tmp_path_factory)
+        sizes[name] = (cache.total_code_bytes, cache.total_data_bytes,
+                       cache.file_size)
+    for name, app in sorted(gui_suite.items()):
+        cache = _cache_after(app, ["startup"], tmp_path_factory)
+        sizes[name] = (cache.total_code_bytes, cache.total_data_bytes,
+                       cache.file_size)
+    # Oracle: the accumulated all-phase cache (the 256MB of paper §5).
+    cache = _cache_after(oracle_workload, list(PHASES), tmp_path_factory)
+    sizes["oracle"] = (cache.total_code_bytes, cache.total_data_bytes,
+                       cache.file_size)
+    return sizes
+
+
+def test_fig9_persistent_cache_sizes(
+    benchmark, spec_suite, gui_suite, oracle_workload, record, tmp_path_factory
+):
+    sizes = benchmark.pedantic(
+        _sweep,
+        args=(spec_suite, gui_suite, oracle_workload, tmp_path_factory),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = [
+        {
+            "workload": name,
+            "code_bytes": code,
+            "data_bytes": data,
+            "file_bytes": file_size,
+            "data/code": data / code,
+        }
+        for name, (code, data, file_size) in sizes.items()
+    ]
+    record(
+        "fig9_cache_sizes",
+        format_table(
+            table,
+            columns=["workload", "code_bytes", "data_bytes", "file_bytes",
+                     "data/code"],
+            title="Figure 9: persistent cache sizes",
+        ),
+    )
+
+    # Data structures consume more than the traces, for every workload.
+    for name, (code, data, _file_size) in sizes.items():
+        assert data > code, (name, code, data)
+
+    # gcc has the largest cache among SPEC benchmarks.
+    spec_names = [name for name in sizes if name.startswith(("1", "2", "3"))]
+    totals = {name: sizes[name][0] + sizes[name][1] for name in sizes}
+    assert max(spec_names, key=totals.get) == "176.gcc"
+
+    # GUI and Oracle caches are larger than every non-gcc SPEC cache.
+    non_gcc_spec_max = max(
+        totals[name] for name in spec_names if name != "176.gcc"
+    )
+    for name in ("gftp", "gvim", "dia", "file-roller", "gqview", "oracle"):
+        assert totals[name] > non_gcc_spec_max, name
+
+    # The file on disk holds both pools plus the directory.
+    for name, (code, data, file_size) in sizes.items():
+        assert file_size > code + data

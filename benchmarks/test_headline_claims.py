@@ -1,0 +1,104 @@
+"""The paper's abstract/conclusion headline numbers.
+
+* "the SPEC2K INT benchmark suite experiences a 26% improvement under
+  dynamic binary instrumentation" — same-input persistence with a
+  basic-block-profiling tool, averaged over the suite's Train and
+  Reference inputs (Figure 5(a) evaluates both input classes);
+* "a 400% speedup is achieved in translating the Oracle database in a
+  regression testing environment" — the five-phase unit test under
+  memory-reference instrumentation, cold versus persistent.
+"""
+
+from conftest import baseline_vm, cold_and_warm, fresh_db
+
+from repro.analysis.overhead import improvement_percent, speedup
+from repro.analysis.report import format_table
+from repro.tools import BBCountTool, MemTraceTool
+from repro.persist.manager import PersistenceConfig
+from repro.workloads.harness import run_vm
+from repro.workloads.oracle import PHASES
+
+
+def _spec_instrumented_gains(spec_suite, tmp_path_factory):
+    gains = {}
+    for name, workload in sorted(spec_suite.items()):
+        for input_name in ("ref-1", "train"):
+            db = fresh_db(
+                tmp_path_factory, "headline-%s-%s" % (name, input_name)
+            )
+            base = baseline_vm(workload, input_name, tool_factory=BBCountTool)
+            _cold, warm = cold_and_warm(
+                workload, input_name, db, tool_factory=BBCountTool
+            )
+            assert warm.stats.traces_translated == 0, name
+            gains["%s/%s" % (name, input_name)] = improvement_percent(
+                base.stats.total_cycles, warm.stats.total_cycles
+            )
+    return gains
+
+
+def _oracle_regression_speedup(oracle_workload, tmp_path_factory):
+    db = fresh_db(tmp_path_factory, "headline-oracle")
+    cold_total = 0.0
+    for phase in PHASES:
+        cold_total += run_vm(
+            oracle_workload, phase, tool=MemTraceTool(),
+            persistence=PersistenceConfig(database=db),
+        ).stats.total_cycles
+    warm_total = 0.0
+    for phase in PHASES:
+        result = run_vm(
+            oracle_workload, phase, tool=MemTraceTool(),
+            persistence=PersistenceConfig(database=db),
+        )
+        assert result.stats.traces_translated == 0, phase
+        warm_total += result.stats.total_cycles
+    return cold_total, warm_total
+
+
+def _sweep(spec_suite, oracle_workload, tmp_path_factory):
+    gains = _spec_instrumented_gains(spec_suite, tmp_path_factory)
+    cold, warm = _oracle_regression_speedup(oracle_workload, tmp_path_factory)
+    return gains, cold, warm
+
+
+def test_headline_claims(
+    benchmark, spec_suite, oracle_workload, record, tmp_path_factory
+):
+    gains, oracle_cold, oracle_warm = benchmark.pedantic(
+        _sweep,
+        args=(spec_suite, oracle_workload, tmp_path_factory),
+        rounds=1,
+        iterations=1,
+    )
+
+    average = sum(gains.values()) / len(gains)
+    oracle_speedup = speedup(oracle_cold, oracle_warm)
+
+    rows = [
+        {"benchmark": name, "improvement_pct": value}
+        for name, value in gains.items()
+    ]
+    rows.append({"benchmark": "SPEC2K INT average", "improvement_pct": average})
+    record(
+        "headline_claims",
+        format_table(
+            rows,
+            columns=["benchmark", "improvement_pct"],
+            title="Headline: SPEC2K INT same-input persistence under "
+                  "instrumentation (paper: 26% average)",
+        )
+        + "\nHeadline: Oracle regression test with memory instrumentation: "
+        + "%.2fx speedup (paper: ~4x)" % oracle_speedup,
+    )
+
+    # The paper's 26% average: accept a generous band around it.
+    assert 18 < average < 40, average
+    # gcc leads the Reference inputs.
+    ref_gains = {k: v for k, v in gains.items() if k.endswith("/ref-1")}
+    assert max(ref_gains, key=ref_gains.get) == "176.gcc/ref-1"
+    # Oracle regression testing: a multiple, not a percentage (paper: ~4x).
+    assert oracle_speedup > 2.0, oracle_speedup
+
+    benchmark.extra_info["spec_avg_instrumented_improvement"] = average
+    benchmark.extra_info["oracle_regression_speedup"] = oracle_speedup

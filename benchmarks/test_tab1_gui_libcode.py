@@ -1,0 +1,43 @@
+"""Table 1: % library code executed at GUI startup.
+
+"GUI applications execute up to 97% of their startup and initialization
+code from shared libraries"; Gvim is the low end at 80%.
+"""
+
+from repro.analysis.coverage import library_fraction
+from repro.analysis.report import format_table
+from repro.workloads.harness import run_vm
+
+
+def _sweep(gui_suite):
+    rows = {}
+    for name, app in sorted(gui_suite.items()):
+        identities = run_vm(app, "startup").stats.trace_identities
+        rows[name] = library_fraction(identities)
+    return rows
+
+
+def test_tab1_library_code_fraction(benchmark, gui_suite, record):
+    fractions = benchmark.pedantic(
+        _sweep, args=(gui_suite,), rounds=1, iterations=1
+    )
+
+    table = [
+        {"app": name, "lib_code_pct": 100 * fraction}
+        for name, fraction in fractions.items()
+    ]
+    record(
+        "tab1_gui_libcode",
+        format_table(
+            table,
+            columns=["app", "lib_code_pct"],
+            title="Table 1: %% of startup code executed from shared libraries",
+        ),
+    )
+
+    # Paper band: 80-97%; scaled band 72-97% with Gvim lowest.
+    for name, fraction in fractions.items():
+        assert 0.70 <= fraction <= 0.97, (name, fraction)
+    assert min(fractions, key=fractions.get) == "gvim"
+    others = [f for name, f in fractions.items() if name != "gvim"]
+    assert min(others) > 0.80

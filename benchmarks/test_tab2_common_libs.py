@@ -1,0 +1,41 @@
+"""Table 2: number of common libraries between GUI applications.
+
+"On average, at least a third of all libraries used by a GUI application
+are also used by other GUI applications."
+"""
+
+from repro.analysis.report import format_table
+from repro.workloads.gui import COMMON_PREFIX, common_library_matrix
+
+
+def test_tab2_common_library_matrix(benchmark, gui_suite, record):
+    matrix = benchmark.pedantic(
+        common_library_matrix, args=(gui_suite,), rounds=1, iterations=1
+    )
+
+    names = sorted(matrix)
+    rows = []
+    for name_a in names:
+        row = {"app": name_a}
+        row.update({name_b: matrix[name_a][name_b] for name_b in names})
+        rows.append(row)
+    record(
+        "tab2_common_libs",
+        format_table(
+            rows,
+            columns=["app"] + names,
+            title="Table 2: common libraries between GUI applications",
+        ),
+    )
+
+    for name_a in names:
+        total = matrix[name_a][name_a]
+        for name_b in names:
+            if name_a == name_b:
+                continue
+            shared = matrix[name_a][name_b]
+            # Symmetric, bounded, and at least the toolkit prefix.
+            assert shared == matrix[name_b][name_a]
+            assert len(COMMON_PREFIX) <= shared <= total
+            # Paper: at least a third of every app's libraries are shared.
+            assert shared / total >= 1 / 3

@@ -1,0 +1,52 @@
+"""Table 4: library code coverage between GUI applications.
+
+The refinement of Table 2: for each application pair (A, B), the fraction
+of A's *executed library code* that also appears in B's persistent cache
+footprint.  The paper's matrix averages ~70%.
+"""
+
+from repro.analysis.coverage import library_coverage_fraction
+from repro.analysis.report import format_matrix
+from repro.workloads.harness import run_vm
+
+
+def _sweep(gui_suite):
+    footprints = {
+        name: run_vm(app, "startup").stats.trace_identities
+        for name, app in gui_suite.items()
+    }
+    names = sorted(footprints)
+    matrix = {
+        a: {
+            b: library_coverage_fraction(footprints[a], footprints[b])
+            for b in names
+        }
+        for a in names
+    }
+    return matrix
+
+
+def test_tab4_gui_library_coverage(benchmark, gui_suite, record):
+    matrix = benchmark.pedantic(_sweep, args=(gui_suite,), rounds=1, iterations=1)
+    names = sorted(matrix)
+
+    record(
+        "tab4_gui_libcov",
+        format_matrix(
+            matrix, order=names,
+            title="Table 4: library code coverage between GUI applications",
+        ),
+    )
+
+    values = []
+    for a in names:
+        assert matrix[a][a] == 1.0
+        for b in names:
+            if a == b:
+                continue
+            value = matrix[a][b]
+            values.append(value)
+            # Paper band: 55-84% for off-diagonal cells.
+            assert 0.40 <= value <= 0.95, (a, b, value)
+    average = sum(values) / len(values)
+    assert 0.55 <= average <= 0.90, average

@@ -1,0 +1,57 @@
+"""Persistent code caching for a dynamic binary instrumentation engine.
+
+A full-system reproduction of *"Persistent Code Caching: Exploiting Code
+Reuse Across Executions and Applications"* (CGO 2007): a Pin-like run-time
+compilation system for a synthetic machine, extended with persistent code
+caches that are stored on disk, validated with mapping keys, accumulated
+across runs, and shared across applications.
+
+Quick tour
+----------
+>>> from repro.workloads import build_gui_suite, run_vm
+>>> from repro.persist import CacheDatabase, PersistenceConfig
+>>> apps, _store = build_gui_suite()
+>>> db = CacheDatabase("/tmp/pcc-demo")
+>>> cold = run_vm(apps["gftp"], "startup",
+...               persistence=PersistenceConfig(database=db))
+>>> warm = run_vm(apps["gftp"], "startup",
+...               persistence=PersistenceConfig(database=db))
+>>> warm.stats.traces_translated
+0
+
+Subpackages
+-----------
+- :mod:`repro.isa` — the synthetic instruction set.
+- :mod:`repro.binfmt` — executable/shared-library images.
+- :mod:`repro.loader` — address spaces and dynamic linking.
+- :mod:`repro.machine` — the simulated CPU and cost model.
+- :mod:`repro.vm` — the DBI engine (traces, code cache, dispatcher, tools).
+- :mod:`repro.persist` — persistent code caches (the paper's contribution).
+- :mod:`repro.workloads` — SPEC2K/GUI/Oracle workload analogs.
+- :mod:`repro.tools` — example instrumentation clients.
+- :mod:`repro.analysis` — coverage/overhead/timeline measurement helpers.
+"""
+
+from repro.machine.costs import CostModel, DEFAULT_COST_MODEL
+from repro.persist.database import CacheDatabase
+from repro.persist.manager import PersistenceConfig, PersistentCacheSession
+from repro.vm.engine import Engine, VMConfig, VMRunResult, VM_VERSION
+from repro.workloads.harness import Workload, run_native, run_vm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheDatabase",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "Engine",
+    "PersistenceConfig",
+    "PersistentCacheSession",
+    "VMConfig",
+    "VMRunResult",
+    "VM_VERSION",
+    "Workload",
+    "__version__",
+    "run_native",
+    "run_vm",
+]

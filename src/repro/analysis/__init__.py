@@ -1,0 +1,45 @@
+"""Measurement and reporting helpers for the evaluation."""
+
+from repro.analysis.coverage import (
+    average_cross_coverage,
+    coverage_fraction,
+    coverage_matrix,
+    footprint_bytes,
+    library_coverage_fraction,
+    library_fraction,
+)
+from repro.analysis.overhead import (
+    OverheadBreakdown,
+    breakdown,
+    improvement_percent,
+    slowdown_vs_native,
+    speedup,
+)
+from repro.analysis.report import format_bar_chart, format_matrix, format_table
+from repro.analysis.timeline import (
+    TimelineSummary,
+    render_timeline,
+    startup_dominated,
+    summarize_timeline,
+)
+
+__all__ = [
+    "OverheadBreakdown",
+    "TimelineSummary",
+    "average_cross_coverage",
+    "breakdown",
+    "coverage_fraction",
+    "coverage_matrix",
+    "footprint_bytes",
+    "format_bar_chart",
+    "format_matrix",
+    "format_table",
+    "improvement_percent",
+    "library_coverage_fraction",
+    "library_fraction",
+    "render_timeline",
+    "slowdown_vs_native",
+    "speedup",
+    "startup_dominated",
+    "summarize_timeline",
+]

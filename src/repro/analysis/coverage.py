@@ -1,0 +1,99 @@
+"""Code-coverage computation across runs.
+
+Coverage here is the paper's §4.3 definition: "Code coverage is the
+amount of static code corresponding to an input also executed by other
+inputs" — measured over trace identities (image path, offset, size), the
+static-code units the VM actually translates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Set, Tuple
+
+TraceIdentity = Tuple[str, int, int]  # (image_path, image_offset, size)
+
+
+def footprint_bytes(identities: Iterable[TraceIdentity]) -> int:
+    """Total static code bytes in a set of trace identities."""
+    return sum(size for _path, _offset, size in identities)
+
+
+def coverage_fraction(
+    covered: Set[TraceIdentity], by: Set[TraceIdentity]
+) -> float:
+    """Fraction of ``covered``'s static code also present in ``by``.
+
+    Weighted by trace size; 1.0 when ``by`` executes everything
+    ``covered`` does (same-input persistence).
+    """
+    total = footprint_bytes(covered)
+    if total == 0:
+        return 1.0
+    shared = footprint_bytes(covered & by)
+    return shared / total
+
+
+def coverage_matrix(
+    footprints: Mapping[str, Set[TraceIdentity]],
+    order: Sequence[str] = (),
+) -> Dict[str, Dict[str, float]]:
+    """Pairwise coverage, Table 3 layout.
+
+    ``matrix[a][b]`` = fraction of ``a``'s code also executed by ``b``
+    (rows are the covered input, columns the covering input; the diagonal
+    is 1.0).
+    """
+    names = list(order) if order else list(footprints)
+    matrix: Dict[str, Dict[str, float]] = {}
+    for name_a in names:
+        matrix[name_a] = {}
+        for name_b in names:
+            matrix[name_a][name_b] = coverage_fraction(
+                footprints[name_a], footprints[name_b]
+            )
+    return matrix
+
+
+def average_cross_coverage(
+    footprints: Mapping[str, Set[TraceIdentity]]
+) -> float:
+    """Mean off-diagonal coverage — Figure 4's 'code invariance' scale."""
+    names = list(footprints)
+    if len(names) < 2:
+        return 1.0
+    total = 0.0
+    count = 0
+    for name_a in names:
+        for name_b in names:
+            if name_a == name_b:
+                continue
+            total += coverage_fraction(footprints[name_a], footprints[name_b])
+            count += 1
+    return total / count
+
+
+def library_coverage_fraction(
+    covered: Set[TraceIdentity],
+    by: Set[TraceIdentity],
+    library_prefix: str = "lib",
+) -> float:
+    """Table 4's metric: coverage restricted to shared-library code."""
+    covered_lib = {
+        identity for identity in covered if identity[0].startswith(library_prefix)
+    }
+    by_lib = {
+        identity for identity in by if identity[0].startswith(library_prefix)
+    }
+    return coverage_fraction(covered_lib, by_lib)
+
+
+def library_fraction(identities: Set[TraceIdentity], library_prefix: str = "lib") -> float:
+    """Fraction of a footprint's bytes that live in shared libraries
+    (Table 1's "% Lib code")."""
+    total = footprint_bytes(identities)
+    if total == 0:
+        return 0.0
+    lib = footprint_bytes(
+        identity for identity in identities if identity[0].startswith(library_prefix)
+    )
+    return lib / total

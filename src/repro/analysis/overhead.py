@@ -1,0 +1,75 @@
+"""Overhead decomposition and improvement metrics.
+
+The helper vocabulary for every results section: execution-time
+improvement percentages (Figures 5-8), slowdown factors (Figure 2(b)),
+and the three-way native / translated-code / VM-overhead breakdown of
+Figure 5(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.machine.cpu import RunResult
+from repro.vm.engine import VMRunResult
+
+
+def improvement_percent(baseline_cycles: float, improved_cycles: float) -> float:
+    """Execution-time improvement of ``improved`` over ``baseline``, in %.
+
+    The paper's headline metric: 90% means the run takes a tenth of the
+    baseline's time.  Negative values mean a slowdown.
+    """
+    if baseline_cycles <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (1.0 - improved_cycles / baseline_cycles)
+
+
+def speedup(baseline_cycles: float, improved_cycles: float) -> float:
+    """Baseline/improved ratio (the paper's '400% speedup' is 4.0x)."""
+    if improved_cycles <= 0:
+        raise ValueError("improved must be positive")
+    return baseline_cycles / improved_cycles
+
+
+def slowdown_vs_native(native: RunResult, under_vm: VMRunResult) -> float:
+    """How many times slower the VM run is than the native run."""
+    return under_vm.stats.total_cycles / native.cycles
+
+
+@dataclass
+class OverheadBreakdown:
+    """One cluster of Figure 5(b): native vs. VM execution decomposition."""
+
+    name: str
+    native_cycles: float
+    translated_code_cycles: float
+    vm_overhead_cycles: float
+
+    @property
+    def total_vm_cycles(self) -> float:
+        return self.translated_code_cycles + self.vm_overhead_cycles
+
+    @property
+    def vm_overhead_fraction(self) -> float:
+        total = self.total_vm_cycles
+        return self.vm_overhead_cycles / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "native": self.native_cycles,
+            "translated_code": self.translated_code_cycles,
+            "vm_overhead": self.vm_overhead_cycles,
+            "total_vm": self.total_vm_cycles,
+        }
+
+
+def breakdown(name: str, native: RunResult, under_vm: VMRunResult) -> OverheadBreakdown:
+    """Build a Figure 5(b)-style cluster from a native/VM run pair."""
+    return OverheadBreakdown(
+        name=name,
+        native_cycles=native.cycles,
+        translated_code_cycles=under_vm.stats.translated_code_cycles,
+        vm_overhead_cycles=under_vm.stats.vm_overhead_cycles,
+    )

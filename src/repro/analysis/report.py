@@ -1,0 +1,85 @@
+"""Plain-text rendering of the experiment tables and figures.
+
+Benchmarks print their results through these helpers so the regenerated
+rows/series read like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_matrix(
+    matrix: Mapping[str, Mapping[str, float]],
+    order: Sequence[str] = (),
+    title: str = "",
+    as_percent: bool = True,
+) -> str:
+    """Render a coverage-style matrix (rows = covered, cols = covering)."""
+    names = list(order) if order else list(matrix)
+    width = max(len(name) for name in names) + 2
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * width + "".join("%*s" % (width, name) for name in names)
+    lines.append(header)
+    for name_a in names:
+        cells = []
+        for name_b in names:
+            value = matrix[name_a][name_b]
+            if as_percent:
+                cells.append("%*.0f%%" % (width - 1, 100 * value))
+            else:
+                cells.append("%*.2f" % (width, value))
+        lines.append("%-*s%s" % (width, name_a, "".join(cells)))
+    return "\n".join(lines)
+
+
+def format_table(
+    rows: List[Dict[str, object]],
+    columns: Sequence[str],
+    title: str = "",
+) -> str:
+    """Render a list of row dicts as an aligned text table."""
+    widths = {
+        column: max(len(column), *(len(_cell(row.get(column))) for row in rows))
+        for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join("%-*s" % (widths[c], c) for c in columns))
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(
+            "  ".join("%-*s" % (widths[c], _cell(row.get(c))) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return "%.1f" % value
+    return str(value)
+
+
+def format_bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bars, largest value scaled to ``width``."""
+    if not values:
+        return title
+    peak = max(values.values()) or 1.0
+    label_width = max(len(name) for name in values) + 1
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(0, int(width * value / peak))
+        lines.append(
+            "%-*s %s %.1f%s" % (label_width, name, bar, value, unit)
+        )
+    return "\n".join(lines)

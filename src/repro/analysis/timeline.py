@@ -1,0 +1,73 @@
+"""Translation-request timelines (Figure 2(a)).
+
+The paper visualizes VM behavior as vertical lines marking translation
+requests over the run; dense lines at startup, sparse ones in the steady
+state — except 176.gcc, which keeps translating throughout.  These
+helpers turn a run's translation events into that picture and into
+summary statistics the benchmarks assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.vm.stats import VMStats
+
+
+@dataclass
+class TimelineSummary:
+    """Distribution of translation requests over a run."""
+
+    total_events: int
+    total_cycles: float
+    #: Fraction of translation events in the first decile of run time.
+    early_fraction: float
+    #: Fraction of translation events in the last half of run time.
+    late_fraction: float
+    #: Per-decile event counts (10 bins over the run).
+    decile_counts: List[int]
+
+
+def summarize_timeline(stats: VMStats) -> TimelineSummary:
+    """Bin translation events over the run's cycle span."""
+    events = stats.translation_events
+    total_cycles = stats.total_cycles
+    bins = [0] * 10
+    if total_cycles > 0:
+        for timestamp, _entry in events:
+            index = min(9, int(10 * timestamp / total_cycles))
+            bins[index] += 1
+    total = len(events)
+    early = bins[0] / total if total else 0.0
+    late = sum(bins[5:]) / total if total else 0.0
+    return TimelineSummary(
+        total_events=total,
+        total_cycles=total_cycles,
+        early_fraction=early,
+        late_fraction=late,
+        decile_counts=bins,
+    )
+
+
+def render_timeline(stats: VMStats, width: int = 80) -> str:
+    """ASCII rendering of Figure 2(a): one row, '|' per busy column.
+
+    Columns with at least one translation request print '|'; quiet
+    columns (pure code-cache execution) print spaces.
+    """
+    total = stats.total_cycles
+    columns = [" "] * width
+    if total > 0:
+        for timestamp, _entry in stats.translation_events:
+            index = min(width - 1, int(width * timestamp / total))
+            columns[index] = "|"
+    return "".join(columns)
+
+
+def startup_dominated(stats: VMStats, threshold: float = 0.5) -> bool:
+    """True when most translation happens in the first decile of the run.
+
+    The Figure 2(a) profile of every SPEC benchmark except gcc.
+    """
+    return summarize_timeline(stats).early_fraction >= threshold

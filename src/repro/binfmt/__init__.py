@@ -1,0 +1,37 @@
+"""SBF binary image format: sections, symbols, relocations, containers."""
+
+from repro.binfmt.image import (
+    Image,
+    ImageBuilder,
+    ImageFormatError,
+    ImageKind,
+)
+from repro.binfmt.relocations import (
+    Relocation,
+    RelocationError,
+    RelocationKind,
+    apply_relocation,
+    read_imm,
+    write_imm,
+)
+from repro.binfmt.sections import Section, SectionFlags, align_up
+from repro.binfmt.symbols import Symbol, SymbolBinding, SymbolKind
+
+__all__ = [
+    "Image",
+    "ImageBuilder",
+    "ImageFormatError",
+    "ImageKind",
+    "Relocation",
+    "RelocationError",
+    "RelocationKind",
+    "Section",
+    "SectionFlags",
+    "Symbol",
+    "SymbolBinding",
+    "SymbolKind",
+    "align_up",
+    "apply_relocation",
+    "read_imm",
+    "write_imm",
+]

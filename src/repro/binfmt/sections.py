@@ -1,0 +1,67 @@
+"""Sections of an SBF image.
+
+A section is a named, contiguous byte region with placement and permission
+metadata.  Executable sections hold encoded instructions; data sections hold
+raw bytes.  Section virtual addresses are *image-relative*: the loader adds
+the image base when mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Section alignment within an image, in bytes.
+SECTION_ALIGN = 64
+
+
+class SectionFlags:
+    """Bit flags describing section permissions."""
+
+    EXEC = 1
+    WRITE = 2
+    READ = 4
+
+
+@dataclass
+class Section:
+    """One named region of an image.
+
+    Attributes:
+        name: Section name (".text", ".data", ...).
+        data: The section payload.  Mutable bytearray so relocations can be
+            applied in place by the loader on a *copy* of the image.
+        vaddr: Image-relative virtual address, assigned at build time.
+        flags: OR of :class:`SectionFlags` bits.
+    """
+
+    name: str
+    data: bytearray = field(default_factory=bytearray)
+    vaddr: int = 0
+    flags: int = SectionFlags.READ
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        return self.vaddr + self.size
+
+    @property
+    def is_executable(self) -> bool:
+        return bool(self.flags & SectionFlags.EXEC)
+
+    @property
+    def is_writable(self) -> bool:
+        return bool(self.flags & SectionFlags.WRITE)
+
+    def contains(self, vaddr: int) -> bool:
+        """True if the image-relative address falls inside this section."""
+        return self.vaddr <= vaddr < self.end
+
+
+def align_up(value: int, alignment: int = SECTION_ALIGN) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive")
+    return (value + alignment - 1) // alignment * alignment

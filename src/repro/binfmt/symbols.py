@@ -1,0 +1,43 @@
+"""Symbol table entries for SBF images.
+
+Symbols name image-relative addresses.  Global symbols are visible to the
+dynamic linker (other images may import them); local symbols are only used
+for intra-image relocation and diagnostics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SymbolBinding(enum.IntEnum):
+    LOCAL = 0
+    GLOBAL = 1
+
+
+class SymbolKind(enum.IntEnum):
+    FUNC = 0
+    OBJECT = 1
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A named image-relative address.
+
+    Attributes:
+        name: Symbol name.  Global names must be unique within an image and
+            are matched by name across images at dynamic-link time.
+        vaddr: Image-relative address of the symbol.
+        binding: LOCAL or GLOBAL visibility.
+        kind: FUNC for code entry points, OBJECT for data.
+    """
+
+    name: str
+    vaddr: int
+    binding: SymbolBinding = SymbolBinding.GLOBAL
+    kind: SymbolKind = SymbolKind.FUNC
+
+    @property
+    def is_global(self) -> bool:
+        return self.binding == SymbolBinding.GLOBAL

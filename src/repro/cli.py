@@ -1,0 +1,295 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list
+    python -m repro run spec 176.gcc ref-1
+    python -m repro run gui gftp startup --pcache /tmp/db
+    python -m repro run gui gqview startup --pcache /tmp/db --inter-app
+    python -m repro run oracle oracle Work --tool memtrace --pcache /tmp/db
+    python -m repro run shell ls run --pcache /tmp/db
+    python -m repro timeline spec 176.gcc ref-1
+    python -m repro pcache list /tmp/db
+    python -m repro pcache show /tmp/db --index 0
+    python -m repro disasm path/to/image.sbf
+
+``run`` executes a workload input natively or under the DBI engine
+(optionally with instrumentation and a persistent-cache database) and
+prints the cycle breakdown; ``pcache`` inspects cache databases;
+``timeline`` renders the Figure 2(a)-style translation-request timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, Optional
+
+from repro import __version__
+from repro.analysis.report import format_table
+from repro.analysis.timeline import render_timeline, summarize_timeline
+from repro.binfmt.image import Image
+from repro.isa.disassembler import disassemble
+from repro.loader.layout import FixedLayout, PerturbedLayout
+from repro.persist.cachefile import PersistentCache
+from repro.persist.database import CacheDatabase
+from repro.persist.manager import PersistenceConfig
+from repro.tools import BBCountTool, CoverageTool, InsCountTool, MemTraceTool
+from repro.vm.client import NullTool
+from repro.workloads.gui import build_gui_suite
+from repro.workloads.harness import Workload, run_native, run_vm
+from repro.workloads.oracle import build_oracle
+from repro.workloads.shell import build_shell_suite
+from repro.workloads.spec2k import build_suite
+
+_TOOLS = {
+    "none": lambda: None,
+    "null": NullTool,
+    "bbcount": BBCountTool,
+    "inscount": InsCountTool,
+    "memtrace": MemTraceTool,
+    "coverage": CoverageTool,
+}
+
+
+def _load_workloads(suite: str) -> Dict[str, Workload]:
+    """Build the named workload suite."""
+    if suite == "spec":
+        return build_suite()
+    if suite == "gui":
+        apps, _store = build_gui_suite()
+        return apps
+    if suite == "oracle":
+        return {"oracle": build_oracle()}
+    if suite == "shell":
+        tools, _store = build_shell_suite()
+        return tools
+    raise SystemExit(
+        "unknown suite %r (choose: spec, gui, oracle, shell)" % suite
+    )
+
+
+def _resolve(suite: str, name: str) -> Workload:
+    workloads = _load_workloads(suite)
+    if name not in workloads:
+        raise SystemExit(
+            "no workload %r in suite %r (have: %s)"
+            % (name, suite, ", ".join(sorted(workloads)))
+        )
+    return workloads[name]
+
+
+def _layout(seed: Optional[int]):
+    return FixedLayout() if seed is None else PerturbedLayout(seed)
+
+
+# ---------------------------------------------------------------------------
+# Subcommands.
+# ---------------------------------------------------------------------------
+
+def cmd_list(args) -> int:
+    """``repro list``: print every suite, workload and input."""
+    rows = []
+    for suite in ("spec", "gui", "oracle", "shell"):
+        for name, workload in sorted(_load_workloads(suite).items()):
+            rows.append(
+                {
+                    "suite": suite,
+                    "workload": name,
+                    "inputs": " ".join(sorted(workload.inputs)),
+                }
+            )
+    print(format_table(rows, columns=["suite", "workload", "inputs"]))
+    return 0
+
+
+def cmd_run(args) -> int:
+    """``repro run``: execute one workload input and print stats."""
+    workload = _resolve(args.suite, args.workload)
+    layout = _layout(args.layout_seed)
+
+    if args.native:
+        result = run_native(workload, args.input, layout=layout)
+        print("exit status:  %d" % result.exit_status)
+        print("instructions: %d" % result.instructions)
+        print("cycles:       %.0f" % result.cycles)
+        return 0
+
+    tool_factory = _TOOLS[args.tool]
+    persistence = None
+    if args.pcache:
+        persistence = PersistenceConfig(
+            database=CacheDatabase(args.pcache),
+            inter_application=args.inter_app,
+            relocatable=args.pic,
+            readonly=args.readonly,
+        )
+    result = run_vm(
+        workload,
+        args.input,
+        tool=tool_factory(),
+        persistence=persistence,
+        layout=layout,
+    )
+    print("exit status:  %d" % result.exit_status)
+    print("instructions: %d" % result.instructions)
+    stats = result.stats
+    for key, value in stats.breakdown().items():
+        print("%-16s %12.0f cycles" % (key, value))
+    print("traces translated:      %d" % stats.traces_translated)
+    print("traces from pcache:     %d" % stats.traces_from_persistent)
+    print("vm overhead fraction:   %.1f%%" % (100 * stats.overhead_fraction()))
+    if result.persistence_report:
+        print("persistence: %s" % result.persistence_report)
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    """``repro timeline``: render the translation timeline."""
+    workload = _resolve(args.suite, args.workload)
+    result = run_vm(workload, args.input)
+    summary = summarize_timeline(result.stats)
+    print("[%s]" % render_timeline(result.stats, width=args.width))
+    print(
+        "%d translation events; %.0f%% in the first decile, %.0f%% in the "
+        "last half; VM overhead %.0f%%"
+        % (
+            summary.total_events,
+            100 * summary.early_fraction,
+            100 * summary.late_fraction,
+            100 * result.stats.overhead_fraction(),
+        )
+    )
+    return 0
+
+
+def cmd_pcache_list(args) -> int:
+    """``repro pcache list``: print the database index."""
+    db = CacheDatabase(args.directory)
+    rows = [
+        {
+            "app": entry.app_path,
+            "traces": entry.trace_count,
+            "bytes": entry.file_size,
+            "file": entry.filename,
+        }
+        for entry in db.entries()
+    ]
+    if not rows:
+        print("(empty database)")
+        return 0
+    print(format_table(rows, columns=["app", "traces", "bytes", "file"]))
+    return 0
+
+
+def cmd_pcache_show(args) -> int:
+    """``repro pcache show``: dump one cache file's contents."""
+    db = CacheDatabase(args.directory)
+    entries = db.entries()
+    if not entries:
+        raise SystemExit("empty database")
+    if not 0 <= args.index < len(entries):
+        raise SystemExit("index out of range (0..%d)" % (len(entries) - 1))
+    entry = entries[args.index]
+    cache = PersistentCache.load(os.path.join(args.directory, entry.filename))
+    print("app:          %s" % cache.app_path)
+    print("vm version:   %s" % cache.vm_version)
+    print("tool:         %s" % cache.tool_identity[:16])
+    print("generation:   %d" % cache.generation)
+    print("traces:       %d" % len(cache.traces))
+    print("code pool:    %d bytes" % cache.total_code_bytes)
+    print("data pool:    %d bytes" % cache.total_data_bytes)
+    print("image keys:")
+    for path, key in sorted(cache.image_keys.items()):
+        print("  %-24s base=0x%x size=%d mtime=%d" % (path, key.base, key.size, key.mtime))
+    by_image: Dict[str, int] = {}
+    for trace in cache.traces:
+        by_image[trace.image_path] = by_image.get(trace.image_path, 0) + 1
+    print("traces by image:")
+    for path, count in sorted(by_image.items()):
+        print("  %-24s %d" % (path, count))
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    """``repro disasm``: disassemble an SBF image's .text."""
+    image = Image.load(args.image)
+    text = image.section(".text")
+    for line in disassemble(bytes(text.data), base=args.base + text.vaddr):
+        print(line)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser.
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Persistent code caching for a DBI engine (CGO 2007 "
+                    "reproduction).",
+    )
+    parser.add_argument("--version", action="version",
+                        version="repro %s" % __version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("list", help="list workloads and inputs")
+    sub.set_defaults(func=cmd_list)
+
+    sub = subparsers.add_parser("run", help="run a workload input")
+    sub.add_argument("suite", choices=("spec", "gui", "oracle", "shell"))
+    sub.add_argument("workload")
+    sub.add_argument("input")
+    sub.add_argument("--native", action="store_true",
+                     help="interpret natively instead of under the VM")
+    sub.add_argument("--tool", choices=sorted(_TOOLS), default="none",
+                     help="instrumentation tool (default: none)")
+    sub.add_argument("--pcache", metavar="DIR",
+                     help="persistent-cache database directory")
+    sub.add_argument("--inter-app", action="store_true",
+                     help="inter-application cache lookup")
+    sub.add_argument("--pic", action="store_true",
+                     help="position-independent translations")
+    sub.add_argument("--readonly", action="store_true",
+                     help="do not write the cache back")
+    sub.add_argument("--layout-seed", type=int, default=None,
+                     help="perturb library load addresses with this seed")
+    sub.set_defaults(func=cmd_run)
+
+    sub = subparsers.add_parser("timeline",
+                                help="translation-request timeline (Fig 2a)")
+    sub.add_argument("suite", choices=("spec", "gui", "oracle", "shell"))
+    sub.add_argument("workload")
+    sub.add_argument("input")
+    sub.add_argument("--width", type=int, default=72)
+    sub.set_defaults(func=cmd_timeline)
+
+    pcache = subparsers.add_parser("pcache",
+                                   help="inspect persistent cache databases")
+    pcache_sub = pcache.add_subparsers(dest="pcache_command", required=True)
+    sub = pcache_sub.add_parser("list", help="list database entries")
+    sub.add_argument("directory")
+    sub.set_defaults(func=cmd_pcache_list)
+    sub = pcache_sub.add_parser("show", help="show one cache file")
+    sub.add_argument("directory")
+    sub.add_argument("--index", type=int, default=0)
+    sub.set_defaults(func=cmd_pcache_show)
+
+    sub = subparsers.add_parser("disasm", help="disassemble an SBF image")
+    sub.add_argument("image")
+    sub.add_argument("--base", type=lambda v: int(v, 0), default=0)
+    sub.set_defaults(func=cmd_disasm)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Synthetic ISA: instructions, encoding, assembler, disassembler.
+
+This is the instruction set that every other layer of the reproduction
+speaks: workload binaries are built from it, the simulated CPU executes it,
+and the DBI engine translates it into code-cache traces.
+"""
+
+from repro.isa.assembler import AssemblyError, AssemblyUnit, assemble
+from repro.isa.disassembler import disassemble, format_instruction
+from repro.isa.encoding import (
+    DecodeError,
+    decode,
+    decode_all,
+    encode,
+    encode_all,
+)
+from repro.isa.instructions import INSTRUCTION_SIZE, Instruction
+from repro.isa.opcodes import Opcode
+
+__all__ = [
+    "AssemblyError",
+    "AssemblyUnit",
+    "DecodeError",
+    "INSTRUCTION_SIZE",
+    "Instruction",
+    "Opcode",
+    "assemble",
+    "decode",
+    "decode_all",
+    "disassemble",
+    "encode",
+    "encode_all",
+    "format_instruction",
+]

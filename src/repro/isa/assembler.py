@@ -1,0 +1,227 @@
+"""A small two-pass assembler for the synthetic ISA.
+
+The assembler exists for tests, examples, and hand-written fixtures; the
+workload generators build :class:`~repro.isa.instructions.Instruction`
+objects directly.  Supported syntax::
+
+    ; comment, or # comment
+    label:
+        movi a0, 10
+        addi a0, a0, -1
+        bne  a0, zero, loop      ; label or numeric offset
+        jmp  done                ; label or absolute address
+        call helper              ; emits a relocation if label is external
+    done:
+        movi rv, 0               ; SYS_EXIT
+        syscall
+
+Labels used by ``jmp``/``call`` that are not defined in the unit are
+recorded as external references; the returned :class:`AssemblyUnit` carries
+relocation records for the image builder to resolve at static-link time.
+Local ``jmp``/``call`` targets also get relocation records (absolute
+addresses must be rebased when the image is mapped), matching how
+:mod:`repro.binfmt.relocations` works.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa import instructions as ins
+from repro.isa.instructions import INSTRUCTION_SIZE, Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import parse_register
+
+
+class AssemblyError(Exception):
+    """Raised on malformed assembly input."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None):
+        if line_number is not None:
+            message = "line %d: %s" % (line_number, message)
+        super().__init__(message)
+        self.line_number = line_number
+
+
+@dataclass
+class AssemblyUnit:
+    """The result of assembling one source text.
+
+    Attributes:
+        code: The assembled instructions, in order.
+        labels: Label name -> byte offset within the unit.
+        relocations: ``(instruction_index, symbol)`` pairs for every
+            ``jmp``/``call`` whose immediate holds a unit-relative offset
+            that must be rebased (local labels) or resolved (external
+            symbols) when the unit is placed in an image.
+    """
+
+    code: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    relocations: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.code) * INSTRUCTION_SIZE
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.][\w.$]*):\s*(.*)$")
+_MEM_OPERAND_RE = re.compile(r"^(-?\d+)\((\w+)\)$")
+
+_THREE_REG = {
+    "add": Opcode.ADD, "sub": Opcode.SUB, "mul": Opcode.MUL,
+    "div": Opcode.DIV, "and": Opcode.AND, "or": Opcode.OR,
+    "xor": Opcode.XOR, "shl": Opcode.SHL, "shr": Opcode.SHR,
+    "slt": Opcode.SLT,
+}
+_TWO_REG_IMM = {
+    "addi": Opcode.ADDI, "andi": Opcode.ANDI, "ori": Opcode.ORI,
+    "xori": Opcode.XORI, "shli": Opcode.SHLI, "shri": Opcode.SHRI,
+}
+_BRANCHES = {
+    "beq": Opcode.BEQ, "bne": Opcode.BNE,
+    "blt": Opcode.BLT, "bge": Opcode.BGE,
+}
+_NO_OPERAND = {
+    "ret": Opcode.RET, "syscall": Opcode.SYSCALL,
+    "halt": Opcode.HALT, "nop": Opcode.NOP,
+}
+
+
+def _parse_int(text: str, line_number: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError as exc:
+        raise AssemblyError("bad integer %r" % text, line_number) from exc
+
+
+def _split_operands(rest: str) -> List[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+def assemble(source: str) -> AssemblyUnit:
+    """Assemble ``source`` text into an :class:`AssemblyUnit`."""
+    # Pass 1: strip comments, collect labels and raw statements.
+    statements: List[Tuple[int, str]] = []  # (line_number, text)
+    labels: Dict[str, int] = {}
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        text = re.split(r"[;#]", raw, maxsplit=1)[0].strip()
+        while text:
+            match = _LABEL_RE.match(text)
+            if match:
+                label, text = match.group(1), match.group(2).strip()
+                if label in labels:
+                    raise AssemblyError("duplicate label %r" % label, line_number)
+                labels[label] = len(statements) * INSTRUCTION_SIZE
+            else:
+                statements.append((line_number, text))
+                text = ""
+
+    # Pass 2: encode statements.
+    unit = AssemblyUnit(labels=labels)
+    for index, (line_number, text) in enumerate(statements):
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        inst = _encode_statement(
+            mnemonic, operands, index, labels, unit, line_number
+        )
+        unit.code.append(inst)
+    return unit
+
+
+def _encode_statement(
+    mnemonic: str,
+    operands: List[str],
+    index: int,
+    labels: Dict[str, int],
+    unit: AssemblyUnit,
+    line_number: int,
+) -> Instruction:
+    def need(count: int) -> None:
+        if len(operands) != count:
+            raise AssemblyError(
+                "%s expects %d operand(s), got %d"
+                % (mnemonic, count, len(operands)),
+                line_number,
+            )
+
+    def reg(text: str) -> int:
+        try:
+            return parse_register(text)
+        except ValueError as exc:
+            raise AssemblyError(str(exc), line_number) from exc
+
+    if mnemonic in _THREE_REG:
+        need(3)
+        return Instruction(
+            _THREE_REG[mnemonic],
+            rd=reg(operands[0]), rs1=reg(operands[1]), rs2=reg(operands[2]),
+        )
+    if mnemonic in _TWO_REG_IMM:
+        need(3)
+        return Instruction(
+            _TWO_REG_IMM[mnemonic],
+            rd=reg(operands[0]), rs1=reg(operands[1]),
+            imm=_parse_int(operands[2], line_number),
+        )
+    if mnemonic in ("lui", "movi"):
+        need(2)
+        opcode = Opcode.LUI if mnemonic == "lui" else Opcode.MOVI
+        operand = operands[1]
+        if mnemonic == "movi" and not re.match(r"^-?(0x)?[0-9a-fA-F]+$", operand):
+            # Address materialization: movi rd, <label> takes the label's
+            # address (relocated at load, like jmp/call targets).
+            unit.relocations.append((index, operand))
+            return Instruction(
+                opcode, rd=reg(operands[0]), imm=labels.get(operand, 0)
+            )
+        return Instruction(
+            opcode, rd=reg(operands[0]), imm=_parse_int(operand, line_number)
+        )
+    if mnemonic in ("ld", "st"):
+        need(2)
+        match = _MEM_OPERAND_RE.match(operands[1].replace(" ", ""))
+        if not match:
+            raise AssemblyError(
+                "bad memory operand %r (want imm(reg))" % operands[1], line_number
+            )
+        offset, base_reg = int(match.group(1)), reg(match.group(2))
+        if mnemonic == "ld":
+            return ins.ld(reg(operands[0]), base_reg, offset)
+        return ins.st(base_reg, reg(operands[0]), offset)
+    if mnemonic in _BRANCHES:
+        need(3)
+        target = operands[2]
+        if target in labels:
+            here = (index + 1) * INSTRUCTION_SIZE
+            offset = labels[target] - here
+        else:
+            offset = _parse_int(target, line_number)
+        return Instruction(
+            _BRANCHES[mnemonic],
+            rs1=reg(operands[0]), rs2=reg(operands[1]), imm=offset,
+        )
+    if mnemonic in ("jmp", "call"):
+        need(1)
+        opcode = Opcode.JMP if mnemonic == "jmp" else Opcode.CALL
+        target = operands[0]
+        if re.match(r"^-?(0x)?[0-9a-fA-F]+$", target) and not target in labels:
+            return Instruction(opcode, imm=_parse_int(target, line_number))
+        # Symbolic target: immediate holds the unit-relative offset if the
+        # label is local (0 if external); a relocation record marks it.
+        unit.relocations.append((index, target))
+        return Instruction(opcode, imm=labels.get(target, 0))
+    if mnemonic in ("jr", "callr"):
+        need(1)
+        opcode = Opcode.JR if mnemonic == "jr" else Opcode.CALLR
+        return Instruction(opcode, rs1=reg(operands[0]))
+    if mnemonic in _NO_OPERAND:
+        need(0)
+        return Instruction(_NO_OPERAND[mnemonic])
+    raise AssemblyError("unknown mnemonic %r" % mnemonic, line_number)

@@ -1,0 +1,77 @@
+"""Textual disassembly of instructions and code regions.
+
+The output format round-trips through :mod:`repro.isa.assembler`, which the
+property tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.encoding import decode_all
+from repro.isa.instructions import INSTRUCTION_SIZE, Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import register_name
+
+_THREE_REG = {
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.AND,
+    Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR, Opcode.SLT,
+}
+_TWO_REG_IMM = {
+    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+    Opcode.SHLI, Opcode.SHRI,
+}
+_BRANCHES = {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE}
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Render one instruction as assembly text."""
+    op = inst.opcode
+    mnemonic = op.name.lower().rstrip("_")
+    if op in _THREE_REG:
+        return "%s %s, %s, %s" % (
+            mnemonic,
+            register_name(inst.rd),
+            register_name(inst.rs1),
+            register_name(inst.rs2),
+        )
+    if op in _TWO_REG_IMM:
+        return "%s %s, %s, %d" % (
+            mnemonic,
+            register_name(inst.rd),
+            register_name(inst.rs1),
+            inst.imm,
+        )
+    if op in (Opcode.LUI, Opcode.MOVI):
+        return "%s %s, %d" % (mnemonic, register_name(inst.rd), inst.imm)
+    if op == Opcode.LD:
+        return "ld %s, %d(%s)" % (
+            register_name(inst.rd), inst.imm, register_name(inst.rs1)
+        )
+    if op == Opcode.ST:
+        return "st %s, %d(%s)" % (
+            register_name(inst.rs2), inst.imm, register_name(inst.rs1)
+        )
+    if op in _BRANCHES:
+        return "%s %s, %s, %d" % (
+            mnemonic,
+            register_name(inst.rs1),
+            register_name(inst.rs2),
+            inst.imm,
+        )
+    if op in (Opcode.JMP, Opcode.CALL):
+        return "%s 0x%x" % (mnemonic, inst.imm)
+    if op in (Opcode.JR, Opcode.CALLR):
+        return "%s %s" % (mnemonic, register_name(inst.rs1))
+    if op in (Opcode.RET, Opcode.SYSCALL, Opcode.HALT, Opcode.NOP):
+        return mnemonic
+    raise AssertionError("unhandled opcode %r" % (op,))
+
+
+def disassemble(code: bytes, base: int = 0) -> List[str]:
+    """Disassemble a code region, one ``addr: text`` line per instruction."""
+    lines = []
+    for index, inst in enumerate(decode_all(code)):
+        addr = base + index * INSTRUCTION_SIZE
+        lines.append("0x%08x: %s" % (addr, format_instruction(inst)))
+    return lines

@@ -1,0 +1,67 @@
+"""Binary encoding and decoding of instructions.
+
+Every instruction encodes to :data:`~repro.isa.instructions.INSTRUCTION_SIZE`
+(8) bytes, little-endian::
+
+    byte 0      opcode
+    byte 1      rd
+    byte 2      rs1
+    byte 3      rs2
+    bytes 4-7   imm (signed 32-bit, little-endian)
+
+The fixed width keeps the trace fetcher, the code cache, and the persistent
+cache file format simple while remaining byte-exact: persistent caches store
+the *encoded* translated code, exactly as Pin's persistent caches stored
+machine code.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List
+
+from repro.isa.instructions import INSTRUCTION_SIZE, Instruction
+from repro.isa.opcodes import Opcode
+
+_STRUCT = struct.Struct("<BBBBi")
+
+assert _STRUCT.size == INSTRUCTION_SIZE
+
+
+class DecodeError(Exception):
+    """Raised when bytes do not decode to a valid instruction."""
+
+
+def encode(inst: Instruction) -> bytes:
+    """Encode a single instruction to its 8-byte form."""
+    return _STRUCT.pack(inst.opcode, inst.rd, inst.rs1, inst.rs2, inst.imm)
+
+
+def decode(data: bytes, offset: int = 0) -> Instruction:
+    """Decode a single instruction from ``data`` at byte ``offset``."""
+    try:
+        opcode, rd, rs1, rs2, imm = _STRUCT.unpack_from(data, offset)
+    except struct.error as exc:
+        raise DecodeError("truncated instruction at offset %d" % offset) from exc
+    try:
+        op = Opcode(opcode)
+    except ValueError as exc:
+        raise DecodeError("illegal opcode 0x%02x at offset %d" % (opcode, offset)) from exc
+    try:
+        return Instruction(op, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+    except ValueError as exc:
+        raise DecodeError(str(exc)) from exc
+
+
+def encode_all(insts: Iterable[Instruction]) -> bytes:
+    """Encode a sequence of instructions to a contiguous byte string."""
+    return b"".join(encode(inst) for inst in insts)
+
+
+def decode_all(data: bytes) -> List[Instruction]:
+    """Decode a byte string that is an exact multiple of the instruction size."""
+    if len(data) % INSTRUCTION_SIZE != 0:
+        raise DecodeError(
+            "code length %d is not a multiple of %d" % (len(data), INSTRUCTION_SIZE)
+        )
+    return [decode(data, off) for off in range(0, len(data), INSTRUCTION_SIZE)]

@@ -1,0 +1,129 @@
+"""Opcode definitions and static properties for the synthetic ISA.
+
+The instruction set is deliberately small but covers everything a dynamic
+binary translator has to care about:
+
+* straight-line ALU and memory operations,
+* conditional PC-relative branches (two-way control flow),
+* direct *absolute* unconditional jumps and calls — absolute so that
+  translations embed literal addresses exactly as the paper describes
+  (``CALL 0x...`` becoming a ``PUSH literal / JMP literal`` pair), which is
+  what makes persisted translations sensitive to library relocation,
+* indirect jumps/calls through a register (translation-map lookups at run
+  time),
+* ``ret`` (an indirect jump through the link register),
+* ``syscall`` (control leaves the code cache for the emulation unit),
+* ``halt`` (machine stop; normal programs exit via the exit syscall).
+
+Trace selection (``repro.vm.trace``) depends on the control-flow taxonomy
+encoded here: a trace ends at the first *unconditional* transfer or at the
+instruction-count limit.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.IntEnum):
+    """All opcodes, with stable numeric values used by the binary encoding."""
+
+    NOP = 0x00
+    # ALU, register-register.
+    ADD = 0x01
+    SUB = 0x02
+    MUL = 0x03
+    DIV = 0x04
+    AND = 0x05
+    OR = 0x06
+    XOR = 0x07
+    SHL = 0x08
+    SHR = 0x09
+    SLT = 0x0A  # set-less-than: rd = 1 if rs1 < rs2 else 0
+    # ALU, register-immediate.
+    ADDI = 0x10
+    ANDI = 0x11
+    ORI = 0x12
+    XORI = 0x13
+    SHLI = 0x14
+    SHRI = 0x15
+    LUI = 0x16  # rd = imm << 16
+    MOVI = 0x17  # rd = imm (sign-extended 32-bit immediate)
+    # Memory.
+    LD = 0x20  # rd = mem[rs1 + imm]
+    ST = 0x21  # mem[rs1 + imm] = rs2
+    # Control flow: conditional (PC-relative immediates, in bytes).
+    BEQ = 0x30
+    BNE = 0x31
+    BLT = 0x32
+    BGE = 0x33
+    # Control flow: unconditional direct (absolute target in imm).
+    JMP = 0x38
+    CALL = 0x39  # lr = return address; jump to imm
+    # Control flow: unconditional indirect (target in rs1).
+    JR = 0x3A
+    CALLR = 0x3B  # lr = return address; jump to rs1
+    RET = 0x3C  # jump to lr
+    # System.
+    SYSCALL = 0x40
+    HALT = 0x41
+
+
+CONDITIONAL_BRANCHES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE}
+)
+DIRECT_UNCONDITIONAL = frozenset({Opcode.JMP, Opcode.CALL})
+INDIRECT_UNCONDITIONAL = frozenset({Opcode.JR, Opcode.CALLR, Opcode.RET})
+CALLS = frozenset({Opcode.CALL, Opcode.CALLR})
+SYSTEM = frozenset({Opcode.SYSCALL, Opcode.HALT})
+
+CONTROL_FLOW = (
+    CONDITIONAL_BRANCHES | DIRECT_UNCONDITIONAL | INDIRECT_UNCONDITIONAL | SYSTEM
+)
+
+MEMORY_OPS = frozenset({Opcode.LD, Opcode.ST})
+
+# Opcodes whose imm field holds an absolute code address and therefore needs
+# a relocation record when the target lives in another image (or any image,
+# under load-address perturbation).
+ABSOLUTE_TARGET = frozenset({Opcode.JMP, Opcode.CALL})
+
+
+def is_control_flow(op: Opcode) -> bool:
+    """Return True for any instruction that can redirect the PC."""
+    return op in CONTROL_FLOW
+
+
+def is_conditional_branch(op: Opcode) -> bool:
+    """Return True for two-way PC-relative branches."""
+    return op in CONDITIONAL_BRANCHES
+
+
+def is_unconditional(op: Opcode) -> bool:
+    """Return True if the instruction *always* transfers control away.
+
+    This is the trace-terminating predicate: Pin-style traces are linear
+    fetch sequences that stop at the first unconditional transfer.
+    ``syscall`` and ``halt`` also terminate traces because control must
+    leave the code cache for the emulation unit.
+    """
+    return (
+        op in DIRECT_UNCONDITIONAL
+        or op in INDIRECT_UNCONDITIONAL
+        or op in SYSTEM
+    )
+
+
+def is_indirect(op: Opcode) -> bool:
+    """Return True if the transfer target comes from a register."""
+    return op in INDIRECT_UNCONDITIONAL
+
+
+def is_call(op: Opcode) -> bool:
+    """Return True for call instructions (they write the link register)."""
+    return op in CALLS
+
+
+def is_memory(op: Opcode) -> bool:
+    """Return True for loads and stores."""
+    return op in MEMORY_OPS

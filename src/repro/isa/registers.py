@@ -1,0 +1,96 @@
+"""Register file definition for the synthetic ISA.
+
+The ISA exposes 32 general-purpose registers.  A handful have conventional
+roles mirroring common RISC ABIs; the conventions matter to the workload
+builder (which emits ABI-respecting code) and to the translator's register
+liveness analysis (which must know which registers carry values across
+calls).
+
+Conventions
+-----------
+``r0`` (``zero``)
+    Hardwired zero: reads return 0, writes are discarded.
+``r1`` (``rv``)
+    Return value / syscall number and syscall result.
+``r2``-``r9`` (``a0``-``a7``)
+    Argument registers, caller-saved.
+``r10``-``r25`` (``t0``-``t15``)
+    Temporaries, caller-saved.
+``r26``, ``r27`` (``s0``, ``s1``)
+    Callee-saved.
+``r28`` (``sp``)
+    Stack pointer.
+``r29`` (``fp``)
+    Frame pointer.
+``r30`` (``lr``)
+    Link register, written by ``call``/``callr``.
+``r31`` (``at``)
+    Assembler/VM temporary.  The run-time compiler is allowed to clobber it
+    in translated code, which is how the dispatcher threads control between
+    traces without spilling application state.
+"""
+
+from __future__ import annotations
+
+NUM_REGISTERS = 32
+
+ZERO = 0
+RV = 1
+A0 = 2
+A1 = 3
+A2 = 4
+A3 = 5
+A4 = 6
+A5 = 7
+A6 = 8
+A7 = 9
+T0 = 10
+T15 = 25
+S0 = 26
+S1 = 27
+SP = 28
+FP = 29
+LR = 30
+AT = 31
+
+_SPECIAL_NAMES = {
+    ZERO: "zero",
+    RV: "rv",
+    SP: "sp",
+    FP: "fp",
+    LR: "lr",
+    AT: "at",
+}
+
+_ALIASES = dict(_SPECIAL_NAMES)
+_ALIASES.update({A0 + i: "a%d" % i for i in range(8)})
+_ALIASES.update({T0 + i: "t%d" % i for i in range(16)})
+_ALIASES.update({S0: "s0", S1: "s1"})
+
+# Name -> register number, accepting both "rN" and ABI aliases.
+_NAME_TO_REG = {"r%d" % n: n for n in range(NUM_REGISTERS)}
+for _reg, _name in _ALIASES.items():
+    _NAME_TO_REG[_name] = _reg
+
+CALLER_SAVED = tuple(range(RV, T15 + 1))
+CALLEE_SAVED = (S0, S1, SP, FP)
+
+
+def register_name(reg: int) -> str:
+    """Return the canonical display name for register number ``reg``."""
+    if not 0 <= reg < NUM_REGISTERS:
+        raise ValueError("register out of range: %r" % (reg,))
+    return _ALIASES.get(reg, "r%d" % reg)
+
+
+def parse_register(name: str) -> int:
+    """Parse a register name (``r7``, ``sp``, ``a0``, ...) to its number."""
+    reg = _NAME_TO_REG.get(name.strip().lower())
+    if reg is None:
+        raise ValueError("unknown register name: %r" % (name,))
+    return reg
+
+
+def is_valid_register(reg: int) -> bool:
+    """Return True if ``reg`` is a legal register number."""
+    return 0 <= reg < NUM_REGISTERS

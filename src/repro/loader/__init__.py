@@ -1,0 +1,43 @@
+"""Process loading: address spaces, load layouts, dynamic linking."""
+
+from repro.loader.layout import (
+    EXECUTABLE_BASE,
+    FixedLayout,
+    LIBRARY_ALIGN,
+    LIBRARY_REGION_START,
+    LoadLayout,
+    PerturbedLayout,
+)
+from repro.loader.linker import (
+    ImageStore,
+    LinkError,
+    LoadEvent,
+    LoadedProcess,
+    load_process,
+)
+from repro.loader.mapper import (
+    AddressSpace,
+    Mapping,
+    MemoryError_,
+    WORD_SIZE,
+    to_signed_word,
+)
+
+__all__ = [
+    "AddressSpace",
+    "EXECUTABLE_BASE",
+    "FixedLayout",
+    "ImageStore",
+    "LIBRARY_ALIGN",
+    "LIBRARY_REGION_START",
+    "LinkError",
+    "LoadEvent",
+    "LoadLayout",
+    "LoadedProcess",
+    "Mapping",
+    "MemoryError_",
+    "PerturbedLayout",
+    "WORD_SIZE",
+    "load_process",
+    "to_signed_word",
+]

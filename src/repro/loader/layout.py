@@ -1,0 +1,83 @@
+"""Load-address layout policies.
+
+Library load addresses "may vary across executions, as a result of changes
+in program behavior or host environment" (paper §3.2.3, citing PaX ASLR).
+That variability is what forces the persistent-cache manager to validate
+library bases and invalidate non-relocatable translations, so the layout
+policy is an explicit, controllable part of the reproduction:
+
+* :class:`FixedLayout` — deterministic bases; every run maps every image at
+  the same address (the common case that lets persisted translations be
+  reused).
+* :class:`PerturbedLayout` — deterministic *per-seed* bases; different seeds
+  model different runs/host environments relocating libraries, exercising
+  the conflict/invalidation paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.binfmt.image import Image
+from repro.binfmt.sections import align_up
+
+#: Default base address of the main executable.
+EXECUTABLE_BASE = 0x0040_0000
+
+#: First library base; libraries are placed upward from here.
+LIBRARY_REGION_START = 0x1000_0000
+
+#: Minimum gap between consecutive library mappings.
+LIBRARY_ALIGN = 0x1_0000
+
+
+class LoadLayout:
+    """Base class: assigns absolute bases to images in load order."""
+
+    def executable_base(self, image: Image) -> int:
+        return EXECUTABLE_BASE
+
+    def library_base(self, image: Image, cursor: int) -> int:
+        """Return the base for ``image`` given the current placement cursor.
+
+        ``cursor`` is the lowest address at or above which the library may
+        be placed; implementations return a base >= cursor and the caller
+        advances the cursor past the mapping.
+        """
+        raise NotImplementedError
+
+    def initial_cursor(self) -> int:
+        return LIBRARY_REGION_START
+
+
+class FixedLayout(LoadLayout):
+    """Identical bases on every run (same load order => same addresses)."""
+
+    def library_base(self, image: Image, cursor: int) -> int:
+        return align_up(cursor, LIBRARY_ALIGN)
+
+
+class PerturbedLayout(LoadLayout):
+    """Per-seed deterministic slide applied to each library's base.
+
+    Two runs with the same seed see identical layouts; different seeds
+    relocate libraries relative to one another — the cross-run relocation
+    the persistent system must detect.  The slide is a function of the
+    (seed, image path) pair so that a *subset* of libraries can move while
+    others stay put, which is exactly the partial-invalidation scenario of
+    inter-application persistence.
+    """
+
+    def __init__(self, seed: int, max_slide_pages: int = 64):
+        self.seed = seed
+        self.max_slide_pages = max_slide_pages
+
+    def _slide(self, path: str) -> int:
+        digest = hashlib.sha256(
+            ("%d:%s" % (self.seed, path)).encode()
+        ).digest()
+        pages = int.from_bytes(digest[:4], "little") % (self.max_slide_pages + 1)
+        return pages * LIBRARY_ALIGN
+
+    def library_base(self, image: Image, cursor: int) -> int:
+        return align_up(cursor, LIBRARY_ALIGN) + self._slide(image.path)

@@ -1,0 +1,98 @@
+"""The cycle cost model.
+
+Every experiment in the paper compares *time*: native execution vs. running
+under the VM, VM (translation) overhead vs. translated-code execution, with
+vs. without a persistent cache.  The reproduction replaces wall-clock time
+with deterministic simulated cycles, charged according to this model.
+
+Calibration targets (see DESIGN.md §5, all ratios from the paper):
+
+* translation is expensive relative to execution — a cold instruction costs
+  ~2 orders of magnitude more to translate than to run, which is what makes
+  GUI startup 20-100x slower under the VM (Figure 2(b)) and lets 176.gcc
+  spend >60% of its time translating (Figure 2(a));
+* translated code runs slightly slower than native (translated-code
+  overhead: indirect-branch resolution, syscall emulation);
+* loading a trace from a persistent cache is vastly cheaper than
+  re-translating it, but not free (mmap + demand paging, §3.2.3);
+* instrumentation adds compile-time cost per instrumented site and run-time
+  cost per executed analysis callback (Figure 5(b)).
+
+All values are floats in "cycles"; totals are reported in cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle charges for every machine/VM event."""
+
+    # -- native hardware ----------------------------------------------------
+    native_inst: float = 1.0
+    native_syscall: float = 50.0
+
+    # -- translated-code execution (code-cache residency) --------------------
+    translated_inst: float = 1.12
+    #: Extra charge when an indirect transfer must be resolved through the
+    #: translation map instead of a direct link.
+    indirect_resolution: float = 18.0
+    #: Emulating a system call on the application's behalf (paper: signal
+    #: and syscall emulation is expensive; File-Roller's poor translated
+    #: performance comes from emulation).
+    syscall_emulation: float = 420.0
+    #: Emulating a signal delivery (File-Roller replaces signal handlers).
+    signal_emulation: float = 2500.0
+
+    # -- VM (compilation unit / dispatcher) ----------------------------------
+    #: Context switch out of the code cache into the VM and back.
+    vm_entry: float = 160.0
+    #: Fixed cost of compiling one trace.
+    trace_compile_fixed: float = 900.0
+    #: Per-instruction cost of compiling a trace.
+    trace_compile_per_inst: float = 190.0
+    #: Per-point *additional* compile cost when a tool instruments
+    #: (weighted by the point's compile_weight: bridging analysis code is
+    #: the expensive part of instrumented translation — the paper's
+    #: memory-reference instrumentation tripled Oracle's VM overhead).
+    instrument_compile_per_inst: float = 260.0
+    #: Patching one branch link between traces.
+    link_patch: float = 25.0
+    #: Flushing the code cache (discard everything).
+    cache_flush: float = 20000.0
+    #: Handling one self-modifying-code event (invalidate overlapping
+    #: traces + decode state).
+    smc_invalidation: float = 1200.0
+    #: Re-registering one retained trace when its module reloads
+    #: (module-aware translation, after Li et al. [19]).
+    module_reattach: float = 20.0
+
+    # -- analysis (tool) execution -------------------------------------------
+    #: Cost of invoking one analysis callback (the callback itself may add
+    #: per-call work on top, see repro.vm.client).
+    analysis_call: float = 1.0
+
+    # -- persistent cache -----------------------------------------------------
+    #: Opening + mapping a persistent cache file and checking its keys.
+    pcache_open: float = 6000.0
+    #: Demand-paging one persisted trace into use on first execution.
+    pcache_trace_load: float = 28.0
+    #: Demand-paging the persisted data structures for one trace.
+    pcache_meta_load: float = 10.0
+    #: Computing + checking a key at a library-load interception.
+    pcache_key_check: float = 120.0
+    #: Writing the cache at exit: fixed + per persisted trace.
+    pcache_write_fixed: float = 8000.0
+    pcache_write_per_trace: float = 6.0
+    #: Invalidating one persisted trace (conflict, relocation, unbacked).
+    pcache_invalidate_trace: float = 1.5
+
+    def with_overrides(self, **kwargs: float) -> "CostModel":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The model used throughout the evaluation unless a bench overrides it.
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,187 @@
+"""System call numbers, OS-side state, and the syscall dispatcher.
+
+The synthetic OS provides just enough surface for the workloads:
+
+====  ==========  =====================================================
+ #    name        semantics
+====  ==========  =====================================================
+ 1    EXIT        terminate; a0 = status (ends the run; under the VM
+                  this is also the persistent-cache write point)
+ 2    WRITE       append a0 bytes starting at address a1 to the output
+ 3    GETPID      rv = process id
+ 4    CLOCK       rv = cycles consumed so far (truncated)
+ 5    BRK         grow the heap by a0 bytes; rv = old break address
+ 6    RAND        rv = next value of a deterministic 64-bit LCG
+ 7    SIGACTION   install handler a1 for signal a0 (File-Roller-style
+                  signal-handler replacement; expensive to emulate)
+ 8    KILL        deliver signal a0 to self (runs the installed handler
+                  to completion before returning)
+ 9    THREAD_     spawn a cooperatively scheduled thread at entry a0
+      CREATE      with argument a1; rv = new thread id
+ 10   YIELD       rotate to the next runnable thread
+ 11   GETTID      rv = calling thread's id
+ 12   DLOPEN      load optional module a0; rv = its base address
+ 13   DLCLOSE     unload optional module a0
+====  ==========  =====================================================
+
+EXIT ends the *calling thread*; the process ends — and the VM writes its
+persistent cache — when the last thread exits (paper §3.2.2).
+
+Arguments arrive in ``a0``-``a3``; the syscall number in ``rv``; results
+return in ``rv``.  Unknown numbers raise :class:`SyscallError` — silent
+failure would mask workload bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+SYS_EXIT = 1
+SYS_WRITE = 2
+SYS_GETPID = 3
+SYS_CLOCK = 4
+SYS_BRK = 5
+SYS_RAND = 6
+SYS_SIGACTION = 7
+SYS_KILL = 8
+SYS_THREAD_CREATE = 9
+SYS_YIELD = 10
+SYS_GETTID = 11
+SYS_DLOPEN = 12
+SYS_DLCLOSE = 13
+
+SYSCALL_NAMES = {
+    SYS_EXIT: "exit",
+    SYS_WRITE: "write",
+    SYS_GETPID: "getpid",
+    SYS_CLOCK: "clock",
+    SYS_BRK: "brk",
+    SYS_RAND: "rand",
+    SYS_SIGACTION: "sigaction",
+    SYS_KILL: "kill",
+    SYS_THREAD_CREATE: "thread_create",
+    SYS_YIELD: "yield",
+    SYS_GETTID: "gettid",
+    SYS_DLOPEN: "dlopen",
+    SYS_DLCLOSE: "dlclose",
+}
+
+_LCG_MULTIPLIER = 6364136223846793005
+_LCG_INCREMENT = 1442695040888963407
+_MASK64 = (1 << 64) - 1
+
+
+class SyscallError(Exception):
+    """Raised for unknown syscall numbers or bad arguments."""
+
+
+@dataclass
+class SyscallResult:
+    """Outcome of one syscall."""
+
+    value: int = 0
+    #: The *calling thread* exited; the process ends when its last thread
+    #: does (the executor decides, via the machine's thread table).
+    exited: bool = False
+    exit_status: int = 0
+    #: Original-code address of a signal handler that must run now, if any.
+    signal_handler: Optional[int] = None
+    #: Name, for per-syscall accounting.
+    name: str = ""
+    #: THREAD_CREATE: (entry address, argument for the new thread's a0).
+    spawn: Optional[tuple] = None
+    #: YIELD: the executor should rotate to the next runnable thread.
+    yielded: bool = False
+    #: DLOPEN: module index to load (rv becomes its base address).
+    dlopen: Optional[int] = None
+    #: DLCLOSE: module index to unload.
+    dlclose: Optional[int] = None
+
+
+@dataclass
+class OSState:
+    """Per-process OS state shared by the interpreter and the VM."""
+
+    pid: int = 1000
+    output: bytearray = field(default_factory=bytearray)
+    heap_break: int = 0
+    heap_limit: int = 0
+    rng_state: int = 0x5DEECE66D
+    signal_handlers: Dict[int, int] = field(default_factory=dict)
+    syscall_counts: Dict[str, int] = field(default_factory=dict)
+    #: Thread id of the currently scheduled thread (set by the executor).
+    current_tid: int = 1
+    #: Reads current consumed cycles, wired in by the execution engine.
+    clock: Callable[[], int] = lambda: 0
+
+    def next_random(self) -> int:
+        self.rng_state = (
+            self.rng_state * _LCG_MULTIPLIER + _LCG_INCREMENT
+        ) & _MASK64
+        return self.rng_state >> 16
+
+
+def dispatch_syscall(
+    os_state: OSState,
+    number: int,
+    args: List[int],
+    read_bytes: Callable[[int, int], bytes],
+) -> SyscallResult:
+    """Execute one system call against ``os_state``.
+
+    Args:
+        os_state: The process's OS-side state.
+        number: Syscall number (from ``rv``).
+        args: Values of ``a0``-``a3``.
+        read_bytes: Memory reader for WRITE.
+
+    Raises:
+        SyscallError: Unknown number.
+    """
+    name = SYSCALL_NAMES.get(number)
+    if name is None:
+        raise SyscallError("unknown syscall %d" % number)
+    os_state.syscall_counts[name] = os_state.syscall_counts.get(name, 0) + 1
+
+    if number == SYS_EXIT:
+        return SyscallResult(exited=True, exit_status=args[0], name=name)
+    if number == SYS_WRITE:
+        length, addr = args[0], args[1]
+        if length < 0:
+            raise SyscallError("write with negative length")
+        os_state.output.extend(read_bytes(addr, length))
+        return SyscallResult(value=length, name=name)
+    if number == SYS_GETPID:
+        return SyscallResult(value=os_state.pid, name=name)
+    if number == SYS_CLOCK:
+        return SyscallResult(value=int(os_state.clock()), name=name)
+    if number == SYS_BRK:
+        grow = args[0]
+        old_break = os_state.heap_break
+        if grow > 0:
+            if old_break + grow > os_state.heap_limit:
+                raise SyscallError("heap exhausted")
+            os_state.heap_break = old_break + grow
+        return SyscallResult(value=old_break, name=name)
+    if number == SYS_RAND:
+        return SyscallResult(value=os_state.next_random(), name=name)
+    if number == SYS_SIGACTION:
+        signal, handler = args[0], args[1]
+        os_state.signal_handlers[signal] = handler
+        return SyscallResult(name=name)
+    if number == SYS_KILL:
+        handler = os_state.signal_handlers.get(args[0])
+        return SyscallResult(signal_handler=handler, name=name)
+    if number == SYS_THREAD_CREATE:
+        entry, argument = args[0], args[1]
+        return SyscallResult(spawn=(entry, argument), name=name)
+    if number == SYS_YIELD:
+        return SyscallResult(yielded=True, name=name)
+    if number == SYS_GETTID:
+        return SyscallResult(value=os_state.current_tid, name=name)
+    if number == SYS_DLOPEN:
+        return SyscallResult(dlopen=args[0], name=name)
+    if number == SYS_DLCLOSE:
+        return SyscallResult(dlclose=args[0], name=name)
+    raise AssertionError("unreachable")

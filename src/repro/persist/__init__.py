@@ -1,0 +1,56 @@
+"""Persistent code caching — the paper's contribution."""
+
+from repro.persist.cachefile import (
+    CacheFileError,
+    PersistedExit,
+    PersistedReloc,
+    PersistedTrace,
+    PersistentCache,
+)
+from repro.persist.convert import (
+    ConversionError,
+    persist_trace,
+    revive_trace,
+)
+from repro.persist.database import CacheDatabase, CacheEntry
+from repro.persist.keys import (
+    MappingKey,
+    cache_lookup_digest,
+    mapping_key,
+    tool_key,
+    vm_key,
+)
+from repro.persist.manager import (
+    PersistenceConfig,
+    PersistenceReport,
+    PersistentCacheSession,
+)
+from repro.persist.pretranslate import (
+    PretranslationResult,
+    pretranslate_image,
+    pretranslate_process,
+)
+
+__all__ = [
+    "CacheDatabase",
+    "CacheEntry",
+    "CacheFileError",
+    "ConversionError",
+    "MappingKey",
+    "PersistedExit",
+    "PersistedReloc",
+    "PersistedTrace",
+    "PersistenceConfig",
+    "PersistenceReport",
+    "PersistentCache",
+    "PersistentCacheSession",
+    "PretranslationResult",
+    "cache_lookup_digest",
+    "mapping_key",
+    "persist_trace",
+    "pretranslate_image",
+    "pretranslate_process",
+    "revive_trace",
+    "tool_key",
+    "vm_key",
+]

@@ -1,0 +1,338 @@
+"""On-disk persistent code cache.
+
+"A persistent code cache is a file stored on disk containing traces and
+their associated data structures.  The data structures contain information
+such as trace links and translation maps." (paper §3.2.1)
+
+The file holds two pools, mirroring the in-memory separation (§3.2.2):
+
+* the **code pool** — concatenated translated-code bytes of every trace;
+* the **data pool** — per-trace serialized metadata (trace object header,
+  register bindings, liveness vectors, address table, link records), the
+  same byte sizes the in-memory translator accounts, so Figure 9's
+  code-vs-data comparison measures real file bytes.
+
+A JSON directory up front records the keys (per-mapping, VM, tool) and the
+per-trace index: entry address, owning image + offset (so the
+position-independent extension can rebase), exits, and pool offsets.
+
+Trace identity for accumulation is ``(image_path, image_offset)`` — stable
+across runs even if a library's base changes.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.persist.keys import MappingKey
+
+MAGIC = b"PCC1"
+FORMAT_VERSION = 1
+
+# Fixed record sizes inside the data pool (bytes); these match the
+# translator's accounting in repro.vm.translator.
+TRACE_HEADER_BYTES = 112
+BINDINGS_BYTES = 64
+LIVENESS_BYTES = 8
+ADDR_TABLE_BYTES = 8
+LINK_RECORD_BYTES = 56
+
+
+class CacheFileError(Exception):
+    """Raised when a persistent cache file is malformed."""
+
+
+@dataclass
+class PersistedExit:
+    """Directory record of one trace exit."""
+
+    kind: int
+    index: int
+    target: Optional[int]  # absolute address at creation, None if dynamic
+    target_path: str = ""  # owning image of the target, "" if unknown
+    target_offset: int = 0  # image-relative target offset
+
+    def to_json(self) -> list:
+        return [self.kind, self.index, self.target, self.target_path, self.target_offset]
+
+    @classmethod
+    def from_json(cls, data: list) -> "PersistedExit":
+        return cls(*data)
+
+
+@dataclass
+class PersistedReloc:
+    """An absolute-immediate site inside a persisted trace body.
+
+    ``index`` is the instruction index; the target is recorded both as the
+    absolute address baked into the code bytes and as an image-relative
+    (path, offset) pair so position-independent reuse can re-materialize
+    it after relocation.
+    """
+
+    index: int
+    target_path: str
+    target_offset: int
+
+    def to_json(self) -> list:
+        return [self.index, self.target_path, self.target_offset]
+
+    @classmethod
+    def from_json(cls, data: list) -> "PersistedReloc":
+        return cls(*data)
+
+
+@dataclass
+class PersistedTrace:
+    """One trace in the cache file."""
+
+    entry: int  # absolute entry address at creation time
+    image_path: str
+    image_offset: int  # entry - image base at creation time
+    n_insts: int
+    code: bytes
+    exits: List[PersistedExit] = field(default_factory=list)
+    relocs: List[PersistedReloc] = field(default_factory=list)
+    data_size: int = 0
+    liveness: List[int] = field(default_factory=list)
+
+    @property
+    def identity(self) -> Tuple[str, int]:
+        return (self.image_path, self.image_offset)
+
+    @property
+    def code_size(self) -> int:
+        return len(self.code)
+
+    def build_data_blob(self) -> bytes:
+        """Serialize this trace's 'data structures' at their modeled size."""
+        parts = [
+            struct.pack(
+                "<qqii",
+                self.entry,
+                self.image_offset,
+                self.n_insts,
+                len(self.exits),
+            ).ljust(TRACE_HEADER_BYTES, b"\0"),
+            b"\0" * BINDINGS_BYTES,
+        ]
+        for mask in self.liveness:
+            parts.append(struct.pack("<Q", mask & ((1 << 64) - 1)))
+        if len(self.liveness) < self.n_insts:
+            parts.append(b"\0" * (LIVENESS_BYTES * (self.n_insts - len(self.liveness))))
+        parts.append(b"\0" * (ADDR_TABLE_BYTES * self.n_insts))
+        for trace_exit in self.exits:
+            parts.append(
+                struct.pack(
+                    "<iiq",
+                    trace_exit.kind,
+                    trace_exit.index,
+                    trace_exit.target if trace_exit.target is not None else -1,
+                ).ljust(LINK_RECORD_BYTES, b"\0")
+            )
+        blob = b"".join(parts)
+        if self.data_size and len(blob) != self.data_size:
+            # The translator's accounting is authoritative; pad or trim so
+            # file sizes match the in-memory pools exactly.
+            if len(blob) < self.data_size:
+                blob += b"\0" * (self.data_size - len(blob))
+            else:
+                blob = blob[: self.data_size]
+        return blob
+
+    def to_json(self, code_offset: int, data_offset: int) -> dict:
+        return {
+            "entry": self.entry,
+            "image_path": self.image_path,
+            "image_offset": self.image_offset,
+            "n_insts": self.n_insts,
+            "code_offset": code_offset,
+            "code_size": len(self.code),
+            "data_offset": data_offset,
+            "data_size": self.data_size,
+            "exits": [e.to_json() for e in self.exits],
+            "relocs": [r.to_json() for r in self.relocs],
+            "liveness": self.liveness,
+        }
+
+
+@dataclass
+class PersistentCache:
+    """An in-memory view of a persistent cache file."""
+
+    vm_version: str
+    tool_identity: str
+    app_path: str
+    image_keys: Dict[str, MappingKey] = field(default_factory=dict)
+    traces: List[PersistedTrace] = field(default_factory=list)
+    #: Creation generation: bumped on every accumulation write-back.
+    generation: int = 0
+
+    # -- inventory ---------------------------------------------------------
+
+    def trace_identities(self) -> set:
+        return {trace.identity for trace in self.traces}
+
+    def traces_for_image(self, path: str) -> List[PersistedTrace]:
+        return [t for t in self.traces if t.image_path == path]
+
+    @property
+    def total_code_bytes(self) -> int:
+        return sum(t.code_size for t in self.traces)
+
+    @property
+    def total_data_bytes(self) -> int:
+        return sum(t.data_size for t in self.traces)
+
+    # -- accumulation ------------------------------------------------------
+
+    def accumulate(
+        self,
+        new_traces: Iterable[PersistedTrace],
+        new_keys: Dict[str, MappingKey],
+    ) -> int:
+        """Add newly discovered translations; return how many were new.
+
+        "The run-time addition of new translations into a persistent code
+        cache is persistent cache accumulation." (§4.4)  Existing traces
+        keep priority; image keys are refreshed to the latest run's values
+        (the bases the retained translations are valid for must stay
+        consistent, so keys are only replaced when no retained trace
+        depends on the old mapping — callers guarantee this by dropping
+        invalid traces before accumulating).
+        """
+        known = self.trace_identities()
+        added = 0
+        for trace in new_traces:
+            if trace.identity in known:
+                continue
+            self.traces.append(trace)
+            known.add(trace.identity)
+            added += 1
+        for path, key in new_keys.items():
+            self.image_keys[path] = key
+        self.generation += 1
+        return added
+
+    def drop_traces(self, identities: set) -> int:
+        """Remove traces by identity; returns how many were dropped."""
+        before = len(self.traces)
+        self.traces = [t for t in self.traces if t.identity not in identities]
+        return before - len(self.traces)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        code_pool = bytearray()
+        data_pool = bytearray()
+        directory = []
+        for trace in self.traces:
+            code_offset = len(code_pool)
+            data_offset = len(data_pool)
+            code_pool.extend(trace.code)
+            data_pool.extend(trace.build_data_blob())
+            directory.append(trace.to_json(code_offset, data_offset))
+        header = {
+            "format_version": FORMAT_VERSION,
+            "vm_version": self.vm_version,
+            "tool_identity": self.tool_identity,
+            "app_path": self.app_path,
+            "generation": self.generation,
+            "image_keys": {
+                path: key.to_json() for path, key in self.image_keys.items()
+            },
+            "traces": directory,
+            "code_pool_size": len(code_pool),
+            "data_pool_size": len(data_pool),
+        }
+        header_blob = json.dumps(header, sort_keys=True).encode()
+        body = b"".join(
+            [
+                MAGIC,
+                struct.pack("<I", len(header_blob)),
+                header_blob,
+                bytes(code_pool),
+                bytes(data_pool),
+            ]
+        )
+        return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "PersistentCache":
+        if len(blob) < len(MAGIC) + 8 or blob[: len(MAGIC)] != MAGIC:
+            raise CacheFileError("bad magic")
+        body, (crc,) = blob[:-4], struct.unpack("<I", blob[-4:])
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            raise CacheFileError("checksum mismatch")
+        (header_len,) = struct.unpack_from("<I", blob, len(MAGIC))
+        header_start = len(MAGIC) + 4
+        try:
+            header = json.loads(blob[header_start : header_start + header_len])
+        except ValueError as exc:
+            raise CacheFileError("bad header JSON") from exc
+        if header.get("format_version") != FORMAT_VERSION:
+            raise CacheFileError(
+                "unsupported format version %r" % header.get("format_version")
+            )
+        cache = cls(
+            vm_version=header["vm_version"],
+            tool_identity=header["tool_identity"],
+            app_path=header["app_path"],
+            generation=header.get("generation", 0),
+        )
+        cache.image_keys = {
+            path: MappingKey.from_json(data)
+            for path, data in header["image_keys"].items()
+        }
+        code_start = header_start + header_len
+        data_start = code_start + header["code_pool_size"]
+        for record in header["traces"]:
+            if (
+                record["code_offset"] < 0
+                or record["code_size"] < 0
+                or record["data_size"] < 0
+                or record["n_insts"] < 1
+                or record["code_offset"] + record["code_size"]
+                > header["code_pool_size"]
+            ):
+                raise CacheFileError("trace directory record out of bounds")
+            code_offset = code_start + record["code_offset"]
+            code = blob[code_offset : code_offset + record["code_size"]]
+            if len(code) != record["code_size"]:
+                raise CacheFileError("truncated code pool")
+            cache.traces.append(
+                PersistedTrace(
+                    entry=record["entry"],
+                    image_path=record["image_path"],
+                    image_offset=record["image_offset"],
+                    n_insts=record["n_insts"],
+                    code=code,
+                    exits=[PersistedExit.from_json(e) for e in record["exits"]],
+                    relocs=[PersistedReloc.from_json(r) for r in record["relocs"]],
+                    data_size=record["data_size"],
+                    liveness=list(record["liveness"]),
+                )
+            )
+        # Sanity: the data pool must be exactly the directory's total.
+        expected_data = sum(t.data_size for t in cache.traces)
+        actual_data = len(blob) - 4 - data_start
+        if actual_data != header["data_pool_size"] or expected_data != actual_data:
+            raise CacheFileError("data pool size mismatch")
+        return cache
+
+    def save(self, path: str) -> None:
+        with open(path, "wb") as handle:
+            handle.write(self.to_bytes())
+
+    @classmethod
+    def load(cls, path: str) -> "PersistentCache":
+        with open(path, "rb") as handle:
+            return cls.from_bytes(handle.read())
+
+    @property
+    def file_size(self) -> int:
+        return len(self.to_bytes())

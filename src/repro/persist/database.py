@@ -1,0 +1,190 @@
+"""The persistent cache database.
+
+A directory of cache files plus a JSON index keyed by the (application,
+VM, tool) key triple.  The manager stores caches here at exit and looks
+them up at startup (paper Figure 1: "Persistent Cache Manager" +
+"Persistent Cache Database").
+
+Two lookup modes exist:
+
+* **exact** — all three key components must match (inter-execution
+  persistence, the default);
+* **inter-application** — the application component is ignored; any cache
+  produced under the same VM and tool is eligible (paper §3.2.3).  When
+  several candidates exist the caller can pick (the evaluation primes with
+  a specific donor application); the default picks the largest cache,
+  which maximizes the library code available for reuse.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.persist.cachefile import PersistentCache
+from repro.persist.keys import MappingKey, tool_key, vm_key
+
+INDEX_NAME = "index.json"
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One row of the database index."""
+
+    app_digest: str
+    vm_digest: str
+    tool_digest: str
+    app_path: str
+    filename: str
+    trace_count: int
+    file_size: int
+
+
+class CacheDatabase:
+    """Filesystem-backed store of persistent caches.
+
+    The index is re-read at construction and written on every store; the
+    database is safe for the evaluation's sequential use (one VM process
+    at a time, as in the paper's experiments).  Concurrent writers from
+    multiple simultaneous VM processes would need external locking.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._index_path = os.path.join(directory, INDEX_NAME)
+        self._entries: List[CacheEntry] = []
+        self._load_index()
+
+    # -- index maintenance --------------------------------------------------
+
+    def _load_index(self) -> None:
+        if not os.path.exists(self._index_path):
+            self._entries = []
+            return
+        with open(self._index_path) as handle:
+            raw = json.load(handle)
+        self._entries = [CacheEntry(**row) for row in raw]
+
+    def _save_index(self) -> None:
+        with open(self._index_path, "w") as handle:
+            json.dump(
+                [entry.__dict__ for entry in self._entries], handle, indent=1
+            )
+
+    def entries(self) -> List[CacheEntry]:
+        return list(self._entries)
+
+    # -- store ----------------------------------------------------------------
+
+    def store(
+        self,
+        cache: PersistentCache,
+        app_key: MappingKey,
+    ) -> CacheEntry:
+        """Write ``cache`` to disk and (re-)index it.
+
+        A cache with the same key triple replaces the previous file (this
+        is how accumulation persists: the manager loads, accumulates, and
+        stores back under the same keys).
+        """
+        app_digest = app_key.digest
+        vm_digest = vm_key(cache.vm_version)
+        tool_digest = tool_key(cache.tool_identity)
+        filename = "pcc-%s-%s-%s.cache" % (
+            app_digest[:12],
+            vm_digest[:8],
+            tool_digest[:8],
+        )
+        blob = cache.to_bytes()
+        with open(os.path.join(self.directory, filename), "wb") as handle:
+            handle.write(blob)
+        entry = CacheEntry(
+            app_digest=app_digest,
+            vm_digest=vm_digest,
+            tool_digest=tool_digest,
+            app_path=cache.app_path,
+            filename=filename,
+            trace_count=len(cache.traces),
+            file_size=len(blob),
+        )
+        self._entries = [
+            existing
+            for existing in self._entries
+            if (existing.app_digest, existing.vm_digest, existing.tool_digest)
+            != (app_digest, vm_digest, tool_digest)
+        ]
+        self._entries.append(entry)
+        self._save_index()
+        return entry
+
+    # -- lookup -----------------------------------------------------------------
+
+    def lookup(
+        self,
+        app_key: MappingKey,
+        vm_version: str,
+        tool_identity: str,
+    ) -> Optional[PersistentCache]:
+        """Exact (app, VM, tool) lookup."""
+        app_digest = app_key.digest
+        vm_digest = vm_key(vm_version)
+        tool_digest = tool_key(tool_identity)
+        for entry in self._entries:
+            if (
+                entry.app_digest == app_digest
+                and entry.vm_digest == vm_digest
+                and entry.tool_digest == tool_digest
+            ):
+                return self._read(entry)
+        return None
+
+    def lookup_inter_application(
+        self,
+        vm_version: str,
+        tool_identity: str,
+        exclude_app_path: Optional[str] = None,
+        select: Optional[Callable[[List[CacheEntry]], Optional[CacheEntry]]] = None,
+    ) -> Optional[PersistentCache]:
+        """Lookup ignoring the application key (paper §3.2.3).
+
+        Args:
+            vm_version: Current VM version.
+            tool_identity: Current tool identity.
+            exclude_app_path: Skip caches created by this application (to
+                force *inter*-application reuse in experiments).
+            select: Optional policy choosing among candidates; default
+                picks the largest cache.
+        """
+        vm_digest = vm_key(vm_version)
+        tool_digest = tool_key(tool_identity)
+        candidates = [
+            entry
+            for entry in self._entries
+            if entry.vm_digest == vm_digest
+            and entry.tool_digest == tool_digest
+            and (exclude_app_path is None or entry.app_path != exclude_app_path)
+        ]
+        if not candidates:
+            return None
+        if select is not None:
+            chosen = select(candidates)
+            if chosen is None:
+                return None
+        else:
+            chosen = max(candidates, key=lambda entry: entry.file_size)
+        return self._read(chosen)
+
+    def _read(self, entry: CacheEntry) -> PersistentCache:
+        return PersistentCache.load(os.path.join(self.directory, entry.filename))
+
+    def clear(self) -> None:
+        """Remove every cache file and reset the index."""
+        for entry in self._entries:
+            path = os.path.join(self.directory, entry.filename)
+            if os.path.exists(path):
+                os.remove(path)
+        self._entries = []
+        self._save_index()

@@ -1,0 +1,398 @@
+"""The persistent cache manager.
+
+"The manager performs the fundamental tasks of generating persistent
+caches, verifying possible reuse, and storing them in the database."
+(paper §3.2)
+
+A :class:`PersistentCacheSession` is attached to one engine run and
+implements the engine's persistence hooks:
+
+``on_process_start``
+    Cache lookup (exact or inter-application), key validation against
+    every intercepted library load, invalidation of conflicting or
+    relocated translations, and preloading of the valid ones into the
+    intra-execution code cache (as demand-paged residents).
+
+``on_module_load`` / ``on_module_unload``
+    Run-time load interception for dlopen'd modules: key check + revive on
+    load; conversion of the dying module's translations on unload so they
+    persist even when the module is gone at process exit.
+
+``on_cache_flush``
+    Write-back before the intra-execution cache is discarded ("information
+    is written to a persistent code cache whenever the intra-execution
+    code cache becomes full...").
+
+``on_exit``
+    Write-back at program exit ("...or the last thread of execution
+    performs the exit system call"), including accumulation of newly
+    discovered translations into the loaded cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.persist.cachefile import PersistentCache, PersistedTrace
+from repro.persist.convert import persist_trace, revive_trace
+from repro.persist.database import CacheDatabase
+from repro.persist.keys import MappingKey, mapping_key
+
+
+@dataclass
+class PersistenceConfig:
+    """How a session looks up, reuses and writes persistent caches."""
+
+    database: Optional[CacheDatabase] = None
+    #: Ignore the application key at lookup; reuse any identically
+    #: instrumented cache (paper §3.2.3 / §4.5).
+    inter_application: bool = False
+    #: Position-independent translations (the paper's proposed extension):
+    #: revive traces across library relocation by re-materializing
+    #: absolute addresses.
+    relocatable: bool = False
+    #: Add this run's new translations to the cache at write-back (§4.4).
+    accumulate: bool = True
+    #: Never write back (measurement runs that must not mutate the DB).
+    readonly: bool = False
+    #: Prime directly with this cache instead of a database lookup
+    #: (cross-input and inter-application experiments pick their donor).
+    prime_with: Optional[PersistentCache] = None
+    #: For inter-application database lookups: skip the running app's own
+    #: caches so reuse is genuinely cross-application.
+    exclude_own_app: bool = True
+
+
+@dataclass
+class PersistenceReport:
+    """What the session did, for results and experiments."""
+
+    cache_found: bool = False
+    source_app: str = ""
+    preloaded: int = 0
+    invalidated: int = 0
+    rebased: int = 0
+    retained_unloaded: int = 0
+    version_conflict: bool = False
+    new_traces_persisted: int = 0
+    written: bool = False
+    total_traces_after_write: int = 0
+    key_checks: int = 0
+    #: Traces skipped at write-back: unbacked or self-modified code.
+    unbacked_skipped: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+class PersistentCacheSession:
+    """Engine persistence hooks for a single run."""
+
+    def __init__(self, config: PersistenceConfig):
+        self.config = config
+        self.report_data = PersistenceReport()
+        self._cache: Optional[PersistentCache] = None
+        self._current_keys: Dict[str, MappingKey] = {}
+        self._app_key: Optional[MappingKey] = None
+        self._app_path: str = ""
+        self._vm_version: str = ""
+        self._tool_identity: str = ""
+        #: Persisted traces whose images were not loaded this run: kept
+        #: verbatim through write-back so accumulation never loses code.
+        self._retained: List[PersistedTrace] = []
+        self._retained_keys: Dict[str, MappingKey] = {}
+        #: Identities of traces invalidated this run (stale content or
+        #: unusable base): they must not survive an accumulation write-back
+        #: under the refreshed image keys.
+        self._invalid_identities: set = set()
+        #: Records converted at module-unload time (the mapping is gone by
+        #: write-back, so conversion must happen in the unload hook).
+        self._module_records: Dict[tuple, PersistedTrace] = {}
+        self._started = False
+
+    # -- engine hooks ------------------------------------------------------------
+
+    def on_process_start(self, engine, machine, cache, stats) -> None:
+        process = machine.process
+        self._started = True
+        self._vm_version = engine.config.vm_version
+        self._tool_identity = engine.tool.identity()
+        self._current_keys = {
+            event.image.path: mapping_key(event.image, event.base, event.size)
+            for event in process.load_events
+        }
+        self._app_path = process.executable.path
+        self._app_key = self._current_keys[self._app_path]
+
+        loaded = self._lookup()
+        if loaded is None:
+            return
+        cost = engine.cost_model
+        stats.charge_persistence(cost.pcache_open)
+
+        if (
+            loaded.vm_version != self._vm_version
+            or loaded.tool_identity != self._tool_identity
+        ):
+            # Stale system or different instrumentation semantics: the
+            # whole cache is unusable (paper §3.2.1).
+            self.report_data.version_conflict = True
+            return
+        self._cache = loaded
+        self.report_data.cache_found = True
+        self.report_data.source_app = loaded.app_path
+
+        # Key validation per intercepted load event.
+        validation: Dict[str, str] = {}
+        for event in process.load_events:
+            stats.charge_persistence(cost.pcache_key_check)
+            self.report_data.key_checks += 1
+            path = event.image.path
+            persisted_key = loaded.image_keys.get(path)
+            if persisted_key is None:
+                continue  # nothing persisted for this image
+            current = self._current_keys[path]
+            if persisted_key.matches(current):
+                validation[path] = "exact"
+            elif self.config.relocatable and persisted_key.matches_content(current):
+                validation[path] = "rebase"
+            else:
+                validation[path] = "invalid"
+
+        preload: List = []
+        for persisted in loaded.traces:
+            mode = validation.get(persisted.image_path)
+            if mode is None:
+                # Image not loaded in this run: unusable now, retained for
+                # write-back so accumulated caches keep their code.
+                self._retained.append(persisted)
+                key = loaded.image_keys.get(persisted.image_path)
+                if key is not None:
+                    self._retained_keys[persisted.image_path] = key
+                self.report_data.retained_unloaded += 1
+                continue
+            if mode == "invalid":
+                self._invalidate_one(stats, cost, persisted)
+                continue
+            # Position-independent mode re-materializes every absolute
+            # address (a trace whose *own* image stayed put may still embed
+            # literals into a relocated library); otherwise reuse is
+            # verbatim and revive_trace validates every embedded literal.
+            revived = revive_trace(
+                persisted,
+                engine.tool,
+                self._base_of(process),
+                rebase=self.config.relocatable,
+            )
+            if revived is None:
+                self._invalidate_one(stats, cost, persisted)
+                continue
+            if mode == "rebase":
+                self.report_data.rebased += 1
+            preload.append(revived)
+
+        # Install the valid translations.  cache.insert links them among
+        # themselves, recreating the persisted link web; the open cost
+        # already covers this (the file stores the links).
+        from repro.vm.codecache import CacheFull
+
+        for revived in preload:
+            if revived.entry in cache:
+                continue
+            try:
+                cache.insert(revived)
+            except CacheFull:
+                break  # pools smaller than the cache; stop preloading
+            self.report_data.preloaded += 1
+            stats.traces_from_persistent += 1
+
+    def on_module_load(self, engine, machine, cache, stats, mapping) -> None:
+        """Load interception for a dynamically loaded (dlopen'd) module.
+
+        The same §3.2.3 treatment as startup libraries, applied at run
+        time: compute and check the module's key, invalidate its retained
+        translations on mismatch, and preload them on a match.
+        """
+        image = mapping.image
+        key = mapping_key(image, mapping.base, mapping.size)
+        self._current_keys[image.path] = key
+        if self._cache is None:
+            return
+        cost = engine.cost_model
+        stats.charge_persistence(cost.pcache_key_check)
+        self.report_data.key_checks += 1
+        persisted_key = self._cache.image_keys.get(image.path)
+        if persisted_key is None:
+            return
+        if persisted_key.matches(key):
+            rebase = self.config.relocatable
+        elif self.config.relocatable and persisted_key.matches_content(key):
+            rebase = True
+        else:
+            for persisted in [
+                trace for trace in self._retained
+                if trace.image_path == image.path
+            ]:
+                self._retained.remove(persisted)
+                self._invalidate_one(stats, cost, persisted)
+            return
+
+        from repro.vm.codecache import CacheFull
+
+        keep: List[PersistedTrace] = []
+        for persisted in self._retained:
+            if persisted.image_path != image.path:
+                keep.append(persisted)
+                continue
+            revived = revive_trace(
+                persisted, engine.tool, self._base_of(machine.process),
+                rebase=rebase,
+            )
+            if revived is None:
+                self._invalidate_one(stats, cost, persisted)
+                continue
+            if revived.entry in cache:
+                continue
+            try:
+                cache.insert(revived)
+            except CacheFull:
+                keep.append(persisted)
+                continue
+            self.report_data.preloaded += 1
+            stats.traces_from_persistent += 1
+        self._retained = keep
+
+    def on_module_unload(self, engine, machine, stats, mapping, evicted) -> None:
+        """A module is being unloaded: convert its (about-to-be-unmapped)
+        translations now so the write-back can persist them.
+
+        This composes module-aware retention with persistence: a plugin
+        that is never loaded at exit time still contributes its
+        translations to the cache.
+        """
+        for resident in evicted:
+            if resident.from_persistent:
+                continue  # already in the loaded cache file
+            record = persist_trace(resident, machine.process)
+            if record is None:
+                self.report_data.unbacked_skipped += 1
+                continue
+            self._module_records[record.identity] = record
+
+    def on_cache_flush(self, engine, machine, cache, stats) -> None:
+        """Write-back triggered by intra-execution cache exhaustion."""
+        self._write_back(engine, machine, cache, stats)
+
+    def on_exit(self, engine, machine, cache, stats) -> None:
+        self._write_back(engine, machine, cache, stats)
+
+    def report(self) -> Dict[str, object]:
+        return self.report_data.to_dict()
+
+    # -- internals -----------------------------------------------------------------
+
+    def _lookup(self) -> Optional[PersistentCache]:
+        if self.config.prime_with is not None:
+            return self.config.prime_with
+        database = self.config.database
+        if database is None:
+            return None
+        if self.config.inter_application:
+            return database.lookup_inter_application(
+                self._vm_version,
+                self._tool_identity,
+                exclude_app_path=(
+                    self._app_path if self.config.exclude_own_app else None
+                ),
+            )
+        return database.lookup(self._app_key, self._vm_version, self._tool_identity)
+
+    def _invalidate_one(self, stats, cost, persisted: PersistedTrace) -> None:
+        self.report_data.invalidated += 1
+        stats.persistent_traces_invalidated += 1
+        stats.charge_persistence(cost.pcache_invalidate_trace)
+        self._invalid_identities.add(persisted.identity)
+
+    @staticmethod
+    def _touches_modified_page(resident, modified_pages) -> bool:
+        from repro.machine.cpu import CODE_PAGE_SHIFT
+
+        first = resident.trace.entry >> CODE_PAGE_SHIFT
+        last = (resident.trace.end - 1) >> CODE_PAGE_SHIFT
+        return any(page in modified_pages for page in range(first, last + 1))
+
+    @staticmethod
+    def _base_of(process):
+        def base_of(path: str) -> Optional[int]:
+            mapping = process.space.mapping_for_image(path)
+            return mapping.base if mapping is not None else None
+
+        return base_of
+
+    def _write_back(self, engine, machine, cache, stats) -> None:
+        if self.config.readonly or self.config.database is None:
+            return
+        cost = engine.cost_model
+        process = machine.process
+
+        modified_pages = machine.modified_code_pages
+        new_records: List[PersistedTrace] = []
+        reused_records: List[PersistedTrace] = []
+        for resident in cache.traces():
+            if modified_pages and self._touches_modified_page(
+                resident, modified_pages
+            ):
+                # Self-modified code no longer matches the file on disk:
+                # "persistent caches only contain traces backed by a file
+                # on disk" (§3.2.1).
+                self.report_data.unbacked_skipped += 1
+                continue
+            record = persist_trace(resident, process)
+            if record is None:
+                self.report_data.unbacked_skipped += 1
+                continue  # unbacked code: never persisted
+            if resident.from_persistent:
+                reused_records.append(record)
+            else:
+                new_records.append(record)
+
+        module_records = [
+            record for identity, record in self._module_records.items()
+            if identity not in self._invalid_identities
+        ]
+        if self._cache is not None and self.config.accumulate:
+            target = self._cache
+            # Invalid translations must not survive under refreshed keys.
+            dropped = 0
+            if self._invalid_identities:
+                dropped = target.drop_traces(self._invalid_identities)
+            if not new_records and not module_records and not dropped:
+                # Nothing changed: skip the disk write entirely.
+                self.report_data.total_traces_after_write = len(target.traces)
+                return
+            # Refresh/retain: the loaded cache already contains the reused
+            # records and the retained-unloaded ones; accumulate the new.
+            target.accumulate(new_records + module_records, self._current_keys)
+        else:
+            target = PersistentCache(
+                vm_version=self._vm_version,
+                tool_identity=self._tool_identity,
+                app_path=self._app_path,
+            )
+            target.image_keys = dict(self._current_keys)
+            target.image_keys.update(self._retained_keys)
+            target.accumulate(
+                reused_records + new_records + module_records + self._retained,
+                {},
+            )
+        self.report_data.new_traces_persisted = len(new_records)
+        self.report_data.written = True
+        self.report_data.total_traces_after_write = len(target.traces)
+
+        stats.charge_persistence(
+            cost.pcache_write_fixed + cost.pcache_write_per_trace * len(target.traces)
+        )
+        self.config.database.store(target, self._app_key)
+        # Subsequent flush/exit write-backs accumulate onto this cache.
+        self._cache = target

@@ -1,0 +1,13 @@
+"""Example instrumentation tools (PinTool analogs)."""
+
+from repro.tools.bbcount import BBCountTool
+from repro.tools.coverage import CoverageTool
+from repro.tools.inscount import InsCountTool
+from repro.tools.memtrace import MemTraceTool
+
+__all__ = [
+    "BBCountTool",
+    "CoverageTool",
+    "InsCountTool",
+    "MemTraceTool",
+]

@@ -1,0 +1,51 @@
+"""Instruction-counting tool — the classic first PinTool.
+
+One analysis call per trace entry adds the trace's instruction count; a
+cheap tool useful as the minimal-instrumentation configuration in
+overhead studies.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.vm.client import (
+    AnalysisContext,
+    InstrumentationPoint,
+    PointKind,
+    Tool,
+)
+from repro.vm.trace import Trace
+
+
+class InsCountTool(Tool):
+    """Counts (approximately) executed instructions, one call per trace.
+
+    The per-trace counter adds the full trace length at entry, so the
+    count is exact only for traces that run to their last exit — the same
+    fast-but-approximate counting mode Pin's inscount2 example uses.
+    """
+
+    name = "inscount"
+    version = "1.0"
+
+    def __init__(self, work_cycles: float = 1.0):
+        self.count = 0
+        self.work_cycles = work_cycles
+        self._trace_lengths = {}
+
+    def instrument_trace(self, trace: Trace) -> List[InstrumentationPoint]:
+        self._trace_lengths[trace.entry] = len(trace.instructions)
+
+        def bump(context: AnalysisContext) -> None:
+            self.count += self._trace_lengths.get(context.trace_entry, 0)
+
+        return [
+            InstrumentationPoint(
+                kind=PointKind.TRACE_ENTRY,
+                index=0,
+                callback=bump,
+                work_cycles=self.work_cycles,
+                label="inscount",
+            )
+        ]

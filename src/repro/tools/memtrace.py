@@ -1,0 +1,77 @@
+"""Memory-reference instrumentation (the paper's Oracle experiment).
+
+"Instrumenting memory references without persistence extends execution by
+4000 seconds, but with persistence it takes slightly over 1000 seconds
+(~4x speedup)."  The tool inserts a callback before every load and store,
+capturing the effective address — the most expensive common
+instrumentation mode because memory operations are frequent and each
+callback must materialize the address.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.vm.client import (
+    AnalysisContext,
+    InstrumentationPoint,
+    PointKind,
+    Tool,
+)
+from repro.vm.trace import Trace
+
+
+class MemTraceTool(Tool):
+    """Records counts (and optionally a bounded trace) of memory accesses."""
+
+    name = "memtrace"
+    version = "1.0"
+
+    def __init__(
+        self,
+        work_cycles: float = 2.0,
+        keep_addresses: int = 0,
+    ):
+        self.reads = 0
+        self.writes = 0
+        self.work_cycles = work_cycles
+        #: Ring buffer of the most recent effective addresses (0 = off).
+        self.keep_addresses = keep_addresses
+        self.recent: List[int] = []
+
+    def _record(self, context: AnalysisContext, is_write: bool) -> None:
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        if self.keep_addresses and context.effective_address is not None:
+            self.recent.append(context.effective_address)
+            if len(self.recent) > self.keep_addresses:
+                del self.recent[: len(self.recent) - self.keep_addresses]
+
+    def instrument_trace(self, trace: Trace) -> List[InstrumentationPoint]:
+        points = []
+        for index, inst in enumerate(trace.instructions):
+            if not inst.is_memory:
+                continue
+            is_write = inst.opcode.name == "ST"
+
+            def callback(context: AnalysisContext, _w: bool = is_write) -> None:
+                self._record(context, _w)
+
+            points.append(
+                InstrumentationPoint(
+                    kind=PointKind.BEFORE_INST,
+                    index=index,
+                    callback=callback,
+                    work_cycles=self.work_cycles,
+                    label="memwrite" if is_write else "memread",
+                    wants_effective_address=True,
+                    compile_weight=6.0,
+                )
+            )
+        return points
+
+    @property
+    def total_accesses(self) -> int:
+        return self.reads + self.writes

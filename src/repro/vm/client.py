@@ -1,0 +1,115 @@
+"""Client (tool) API — the PinTool analog.
+
+A :class:`Tool` observes translation and injects *instrumentation points*
+into traces.  Each point names an instruction position, a Python analysis
+callback, and a per-invocation work charge (analysis routines are not free;
+the paper notes that "complex and time consuming analysis can diminish the
+relative significance of VM overhead").
+
+The tool's :meth:`Tool.identity` participates in the persistent-cache key:
+translations instrumented by one tool (or one tool version) must never be
+reused under another, because the injected analysis code differs.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.machine.cpu import Machine
+    from repro.vm.trace import Trace
+
+
+class PointKind(enum.IntEnum):
+    """Where an instrumentation point fires."""
+
+    TRACE_ENTRY = 0  # once, when execution enters the trace
+    BEFORE_INST = 1  # before the instruction at ``index`` executes
+
+
+@dataclass
+class AnalysisContext:
+    """Run-time information handed to analysis callbacks."""
+
+    address: int  # original address of the instrumented instruction
+    trace_entry: int  # original entry address of the containing trace
+    index: int  # instruction index within the trace
+    machine: "Machine"
+    effective_address: Optional[int] = None  # memory ops only
+
+
+AnalysisCallback = Callable[[AnalysisContext], None]
+
+
+@dataclass
+class InstrumentationPoint:
+    """One injected analysis site."""
+
+    kind: PointKind
+    index: int
+    callback: AnalysisCallback
+    work_cycles: float = 0.0
+    #: Label for accounting/debugging ("bbcount", "memread", ...).
+    label: str = ""
+    #: True if the callback wants the effective address of a memory op.
+    wants_effective_address: bool = False
+    #: Multiplier on the per-point instrumentation compile cost; points
+    #: that must materialize state (e.g. effective addresses) generate
+    #: more bridging code.
+    compile_weight: float = 1.0
+
+
+class Tool:
+    """Base class for instrumentation clients.
+
+    Subclasses override :meth:`instrument_trace` to return the points to
+    inject when the compilation unit translates a trace, and may override
+    the lifecycle hooks.  A tool with no points (the default) reproduces
+    the paper's "without instrumentation" configuration, where the VM still
+    pays full translation costs but injects nothing.
+    """
+
+    #: Stable tool name; part of the persistent-cache tool key.
+    name: str = "nulltool"
+    #: Bump on any change to instrumentation semantics.
+    version: str = "1.0"
+
+    def identity(self) -> str:
+        """Digest of the tool's instrumentation semantics for cache keys."""
+        blob = ("%s:%s:%s" % (type(self).__name__, self.name, self.version))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def instrument_trace(self, trace: "Trace") -> List[InstrumentationPoint]:
+        """Return the points to inject into ``trace`` (default: none)."""
+        return []
+
+    def on_start(self, machine: "Machine") -> None:
+        """Called once before the application starts executing."""
+
+    def on_exit(self, machine: "Machine", exit_status: int) -> None:
+        """Called once after the application exits."""
+
+
+class NullTool(Tool):
+    """Explicit no-instrumentation client (native-to-native translation)."""
+
+    name = "nulltool"
+    version = "1.0"
+
+
+@dataclass
+class ToolAccounting:
+    """Per-tool run accounting, filled in by the dispatcher."""
+
+    analysis_calls: int = 0
+    analysis_cycles: float = 0.0
+    points_injected: int = 0
+    calls_by_label: dict = field(default_factory=dict)
+
+    def record_call(self, label: str, cycles: float) -> None:
+        self.analysis_calls += 1
+        self.analysis_cycles += cycles
+        self.calls_by_label[label] = self.calls_by_label.get(label, 0) + 1

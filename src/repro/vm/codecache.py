@@ -1,0 +1,183 @@
+"""The intra-execution software code cache.
+
+Holds translated traces and their data structures in two separately
+managed pools (paper §3.2.2: "persistent memory pools for data structures
+and traces are maintained separately ... intermixing code and data
+structures results in poor performance"), maintains the translation map
+(original address -> code-cache resident), and patches direct links
+between traces so that "subsequent executions of the same code require no
+re-translation and control remains in the code cache".
+
+When either pool is exhausted the cache is *flushed*: all translated code
+and data structures are discarded (the reclamation policy the paper's Pin
+uses for its reserved 512MB region).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.vm.translator import LinkSlot, TranslatedTrace
+
+#: Pool sizes used when none are specified: "512MB of an application's
+#: address space (a tunable parameter) is reserved for Pin's use.  The
+#: pre-allocated memory is equally divided between the code cache and its
+#: supporting data structures."  The reproduction's workloads are scaled
+#: down ~3 orders of magnitude from the paper's, so the default pools are
+#: scaled down by 2**8 while preserving the equal split; like the paper's
+#: runs, no evaluated workload triggers a flush at this size.  Experiments
+#: exercising the flush path pass explicit smaller sizes.
+DEFAULT_CODE_POOL_BYTES = 256 * 1024 * 1024 // 256
+DEFAULT_DATA_POOL_BYTES = 256 * 1024 * 1024 // 256
+
+
+class CacheFull(Exception):
+    """Raised when inserting a trace would overflow a pool."""
+
+
+@dataclass
+class CodeCacheStats:
+    """Occupancy and activity counters."""
+
+    traces_inserted: int = 0
+    flushes: int = 0
+    link_patches: int = 0
+    lookups: int = 0
+    hits: int = 0
+
+
+class CodeCache:
+    """Software-managed cache of translated traces."""
+
+    def __init__(
+        self,
+        code_capacity: int = DEFAULT_CODE_POOL_BYTES,
+        data_capacity: int = DEFAULT_DATA_POOL_BYTES,
+    ):
+        if code_capacity <= 0 or data_capacity <= 0:
+            raise ValueError("pool capacities must be positive")
+        self.code_capacity = code_capacity
+        self.data_capacity = data_capacity
+        self.code_used = 0
+        self.data_used = 0
+        self.stats = CodeCacheStats()
+        #: The translation map: original entry address -> resident trace.
+        self._by_entry: Dict[int, TranslatedTrace] = {}
+        #: Unresolved direct exits, keyed by their original target address.
+        self._pending_links: Dict[int, List[LinkSlot]] = {}
+
+    # -- lookup -------------------------------------------------------------
+
+    def lookup(self, original_addr: int) -> Optional[TranslatedTrace]:
+        """Translation-map query: trace whose entry is ``original_addr``."""
+        self.stats.lookups += 1
+        found = self._by_entry.get(original_addr)
+        if found is not None:
+            self.stats.hits += 1
+        return found
+
+    def __contains__(self, original_addr: int) -> bool:
+        return original_addr in self._by_entry
+
+    def __len__(self) -> int:
+        return len(self._by_entry)
+
+    def traces(self) -> List[TranslatedTrace]:
+        """All resident traces, in insertion order."""
+        return list(self._by_entry.values())
+
+    # -- insertion & linking --------------------------------------------------
+
+    def insert(self, translated: TranslatedTrace) -> int:
+        """Add a trace; link it both ways; return the number of patches.
+
+        Raises:
+            CacheFull: if either pool would overflow.  The caller decides
+                whether to flush and retry.
+        """
+        entry = translated.entry
+        if entry in self._by_entry:
+            raise ValueError("trace at 0x%x is already resident" % entry)
+        if self.code_used + translated.code_size > self.code_capacity:
+            raise CacheFull("code pool exhausted")
+        if self.data_used + translated.data_size > self.data_capacity:
+            raise CacheFull("data pool exhausted")
+
+        translated.cache_offset = self.code_used
+        self.code_used += translated.code_size
+        self.data_used += translated.data_size
+        self._by_entry[entry] = translated
+        self.stats.traces_inserted += 1
+
+        patches = 0
+        # Incoming: every pending exit that targets this entry.
+        for slot in self._pending_links.pop(entry, ()):  # noqa: B020
+            slot.linked_entry = entry
+            patches += 1
+        # Outgoing: link exits whose target is already resident, otherwise
+        # queue them for when the target arrives.
+        for slot in translated.links:
+            if not slot.is_linkable:
+                continue
+            target = slot.exit.target
+            if target in self._by_entry:
+                slot.linked_entry = target
+                patches += 1
+            else:
+                self._pending_links.setdefault(target, []).append(slot)
+        self.stats.link_patches += patches
+        return patches
+
+    def evict(self, entry: int) -> TranslatedTrace:
+        """Remove one trace (persistent-cache invalidation path).
+
+        Incoming links to it are unlinked (they fall back to the VM
+        trampoline); its own pending outgoing links are discarded.
+        """
+        translated = self._by_entry.pop(entry, None)
+        if translated is None:
+            raise KeyError("no trace at 0x%x" % entry)
+        self.code_used -= translated.code_size
+        self.data_used -= translated.data_size
+        for other in self._by_entry.values():
+            for slot in other.links:
+                if slot.linked_entry == entry:
+                    # Unlink and re-queue as pending: a future translation
+                    # at this entry must re-link the exit eagerly.
+                    slot.linked_entry = None
+                    self._pending_links.setdefault(entry, []).append(slot)
+        for slots in self._pending_links.values():
+            for slot in list(slots):
+                if slot in translated.links:
+                    slots.remove(slot)
+        return translated
+
+    def evict_range(self, start: int, end: int) -> List[TranslatedTrace]:
+        """Evict every trace overlapping ``[start, end)`` — the
+        invalidation path for self-modifying code and module unloads
+        ("all other traces are invalidated by removing their information
+        from the translation map", paper §3.2.1).  Returns the evicted
+        traces (module-aware retention re-registers them on reload)."""
+        victims = [
+            entry
+            for entry, translated in self._by_entry.items()
+            if translated.trace.entry < end and start < translated.trace.end
+        ]
+        return [self.evict(entry) for entry in victims]
+
+    def flush(self) -> int:
+        """Discard all translated code and data structures."""
+        discarded = len(self._by_entry)
+        self._by_entry.clear()
+        self._pending_links.clear()
+        self.code_used = 0
+        self.data_used = 0
+        self.stats.flushes += 1
+        return discarded
+
+    # -- reporting -------------------------------------------------------------
+
+    def occupancy(self) -> Tuple[int, int]:
+        """(code_used, data_used) in bytes."""
+        return self.code_used, self.data_used

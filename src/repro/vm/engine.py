@@ -1,0 +1,464 @@
+"""The DBI engine: compilation unit + dispatcher + emulation glue.
+
+:class:`Engine` runs a loaded process entirely under VM control, the way
+Pin does: *every* instruction executes from the software code cache, never
+from the original image.  The run loop is the dispatcher:
+
+1. look the current original PC up in the translation map;
+2. on a miss, enter the VM (cost), select and translate a trace (cost),
+   insert and link it;
+3. execute the trace out of the code cache (translated-inst costs,
+   analysis-callback costs);
+4. leave the trace through one of its exits — directly to a linked trace
+   (free), through the indirect-target resolver (hash-lookup cost), via
+   syscall emulation, or back to the VM for a missing target.
+
+A persistence session (see :mod:`repro.persist.manager`) can be attached;
+the engine calls its hooks at process start (cache lookup + preload), at
+code-cache flush, and at exit (cache generation / accumulation), exactly
+the integration points the paper describes in §3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.isa.instructions import INSTRUCTION_SIZE
+from repro.loader.linker import LoadedProcess
+from repro.machine.costs import CostModel, DEFAULT_COST_MODEL
+from repro.machine.cpu import (
+    ExecutionContext,
+    Machine,
+    MachineFault,
+    apply_module_event,
+    apply_thread_event,
+)
+from repro.vm.client import AnalysisContext, NullTool, Tool, ToolAccounting
+from repro.vm.codecache import (
+    CacheFull,
+    CodeCache,
+    DEFAULT_CODE_POOL_BYTES,
+    DEFAULT_DATA_POOL_BYTES,
+)
+from repro.vm.stats import VMStats
+from repro.vm.trace import ExitKind, TraceSelector
+from repro.vm.translator import TranslatedTrace, Translator
+from repro.isa.opcodes import Opcode
+
+#: Opcode-range bounds used by the dispatcher's hot loop.
+_COND_LO = int(Opcode.BEQ)
+_COND_HI = int(Opcode.BGE)
+_UNCOND_LO = int(Opcode.JMP)
+_HALT_OP = int(Opcode.HALT)
+_MEMORY_OPS = (int(Opcode.LD), int(Opcode.ST))
+
+#: Version stamp of the run-time system.  Part of every persistent-cache
+#: key: "code and the data structures are specific to a version of the
+#: system and cannot be utilized across versions".
+VM_VERSION = "repro-dbi-1.0.0"
+
+
+class EngineError(Exception):
+    """Raised for unrecoverable engine conditions (e.g. trace > pool)."""
+
+
+@dataclass
+class VMConfig:
+    """Engine tunables."""
+
+    max_trace_insts: int = 24
+    code_pool_bytes: int = DEFAULT_CODE_POOL_BYTES
+    data_pool_bytes: int = DEFAULT_DATA_POOL_BYTES
+    vm_version: str = VM_VERSION
+    max_instructions: int = 200_000_000
+    #: Retain translations of unloaded modules and re-register them when
+    #: the module reloads at the same base (module-aware translation,
+    #: after Li et al.'s IA32EL work the paper discusses in §5).
+    module_retention: bool = True
+
+
+@dataclass
+class VMRunResult:
+    """Everything observable from one run under the engine."""
+
+    exit_status: int
+    output: bytes
+    instructions: int
+    stats: VMStats
+    tool_accounting: ToolAccounting
+    cache_traces: int
+    cache_code_bytes: int
+    cache_data_bytes: int
+    persistence_report: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> float:
+        return self.stats.total_cycles
+
+
+class Engine:
+    """A Pin-like run-time compilation system for the synthetic machine."""
+
+    def __init__(
+        self,
+        tool: Optional[Tool] = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        config: Optional[VMConfig] = None,
+        persistence=None,
+    ):
+        self.tool = tool or NullTool()
+        self.cost_model = cost_model
+        self.config = config or VMConfig()
+        self.persistence = persistence
+
+    # -- public API -------------------------------------------------------------
+
+    def run(
+        self,
+        process: LoadedProcess,
+        args: Tuple[int, ...] = (),
+        machine: Optional[Machine] = None,
+    ) -> VMRunResult:
+        """Execute ``process`` to completion under the VM."""
+        machine = machine or Machine(process)
+        machine.set_args(*args)
+        stats = VMStats()
+        machine.os_state.clock = lambda: stats.total_cycles
+        cache = CodeCache(
+            self.config.code_pool_bytes, self.config.data_pool_bytes
+        )
+        selector = TraceSelector(machine.fetch, self.config.max_trace_insts)
+        translator = Translator(self.cost_model, self.tool)
+        context = ExecutionContext(machine)
+        accounting = ToolAccounting()
+
+        if self.persistence is not None:
+            self.persistence.on_process_start(self, machine, cache, stats)
+
+        def on_code_write(addr: int, _cache=cache, _stats=stats) -> None:
+            # Self-modifying code: drop every trace overlapping the
+            # modified 512-byte page (paper §3.2.1's invalidation).
+            from repro.machine.cpu import CODE_PAGE_SHIFT
+
+            start = (addr >> CODE_PAGE_SHIFT) << CODE_PAGE_SHIFT
+            evicted = _cache.evict_range(start, start + (1 << CODE_PAGE_SHIFT))
+            if evicted:
+                _stats.smc_invalidations += len(evicted)
+                _stats.charge_dispatch(self.cost_model.smc_invalidation)
+
+        machine.code_write_listeners.append(on_code_write)
+
+        # Module-aware translation: unloading a module invalidates its
+        # traces (stash them); reloading at the same base re-registers
+        # them without retranslation.
+        module_stash: Dict[Tuple[str, int], list] = {}
+
+        def on_module_event(kind: str, mapping,
+                            _cache=cache, _stats=stats) -> None:
+            key = (mapping.image.path, mapping.base)
+            if kind == "unload":
+                _stats.module_unloads += 1
+                evicted = _cache.evict_range(mapping.base, mapping.end)
+                # Traces of self-modified pages must not survive into the
+                # module's next (pristine) incarnation.
+                from repro.machine.cpu import CODE_PAGE_SHIFT
+
+                modified = machine.modified_code_pages
+                clean = [
+                    resident for resident in evicted
+                    if not any(
+                        page in modified
+                        for page in range(
+                            resident.trace.entry >> CODE_PAGE_SHIFT,
+                            ((resident.trace.end - 1) >> CODE_PAGE_SHIFT) + 1,
+                        )
+                    )
+                ] if modified else evicted
+                if self.config.module_retention:
+                    module_stash[key] = clean
+                if self.persistence is not None:
+                    self.persistence.on_module_unload(
+                        self, machine, _stats, mapping, clean
+                    )
+                return
+            _stats.module_loads += 1
+            if self.persistence is not None:
+                self.persistence.on_module_load(
+                    self, machine, _cache, _stats, mapping
+                )
+            for stashed in module_stash.pop(key, ()):
+                if stashed.entry in _cache:
+                    continue
+                for slot in stashed.links:
+                    slot.linked_entry = None  # re-link against residents
+                try:
+                    _cache.insert(stashed)
+                except CacheFull:
+                    break
+                _stats.module_traces_retained += 1
+                _stats.charge_dispatch(self.cost_model.module_reattach)
+
+        machine.module_listeners.append(on_module_event)
+
+        self.tool.on_start(machine)
+
+        cost = self.cost_model
+        exit_status = 0
+        pc: Optional[int] = process.entry_address
+        # Program start: control begins inside the VM.
+        stats.charge_dispatch(cost.vm_entry)
+        stats.vm_entries += 1
+        arrived_resident: Optional[TranslatedTrace] = None
+
+        budget = self.config.max_instructions
+        while pc is not None:
+            if stats.instructions_executed >= budget:
+                raise MachineFault("instruction budget exhausted", pc)
+            if arrived_resident is not None:
+                translated = arrived_resident
+                arrived_resident = None
+            else:
+                translated = cache.lookup(pc)
+                if translated is None:
+                    translated = self._translate_at(
+                        pc, machine, selector, translator, cache, stats
+                    )
+            pc, exit_status, arrived_resident = self._execute_trace(
+                translated, context, machine, cache, stats, accounting, exit_status
+            )
+            if (
+                pc is not None
+                and arrived_resident is None
+                and pc in cache
+            ):
+                # The exit found its target resident (indirect hit or
+                # post-emulation resume): no VM round-trip needed.
+                arrived_resident = cache.lookup(pc)
+            elif pc is not None and arrived_resident is None:
+                stats.charge_dispatch(cost.vm_entry)
+                stats.vm_entries += 1
+
+        self.tool.on_exit(machine, exit_status)
+
+        persistence_report: Dict[str, object] = {}
+        if self.persistence is not None:
+            self.persistence.on_exit(self, machine, cache, stats)
+            persistence_report = self.persistence.report()
+
+        return VMRunResult(
+            exit_status=exit_status,
+            output=bytes(machine.os_state.output),
+            instructions=stats.instructions_executed,
+            stats=stats,
+            tool_accounting=accounting,
+            cache_traces=len(cache),
+            cache_code_bytes=cache.code_used,
+            cache_data_bytes=cache.data_used,
+            persistence_report=persistence_report,
+        )
+
+    # -- compilation -------------------------------------------------------------
+
+    def _translate_at(
+        self,
+        pc: int,
+        machine: Machine,
+        selector: TraceSelector,
+        translator: Translator,
+        cache: CodeCache,
+        stats: VMStats,
+    ) -> TranslatedTrace:
+        """Select, translate, insert and link the trace starting at ``pc``."""
+        mapping = machine.process.image_at(pc)
+        image_path = mapping.image.path if mapping is not None else ""
+        image_base = mapping.base if mapping is not None else 0
+        trace = selector.select(pc, image_path=image_path, image_base=image_base)
+        result = translator.translate(trace)
+        stats.charge_translation(result.compile_cycles)
+        stats.traces_translated += 1
+        stats.record_translation_event(pc)
+        stats.translated_bytes_by_image[image_path] = (
+            stats.translated_bytes_by_image.get(image_path, 0) + trace.size
+        )
+        stats.trace_identities.add((image_path, pc - image_base, trace.size))
+        translated = result.translated
+        try:
+            patches = cache.insert(translated)
+        except CacheFull:
+            if self.persistence is not None:
+                self.persistence.on_cache_flush(self, machine, cache, stats)
+            stats.charge_dispatch(self.cost_model.cache_flush)
+            stats.cache_flushes += 1
+            cache.flush()
+            try:
+                patches = cache.insert(translated)
+            except CacheFull as exc:
+                raise EngineError(
+                    "trace at 0x%x larger than the code cache pools" % pc
+                ) from exc
+        stats.link_patches += patches
+        stats.charge_dispatch(patches * self.cost_model.link_patch)
+        return translated
+
+    # -- dispatch / trace execution -----------------------------------------------
+
+    def _execute_trace(
+        self,
+        translated: TranslatedTrace,
+        context: ExecutionContext,
+        machine: Machine,
+        cache: CodeCache,
+        stats: VMStats,
+        accounting: ToolAccounting,
+        exit_status: int,
+    ) -> Tuple[Optional[int], int, Optional[TranslatedTrace]]:
+        """Run one trace out of the code cache.
+
+        Returns ``(next_pc, exit_status, next_resident)`` where
+        ``next_resident`` is the already-linked next trace when the exit
+        was a patched direct link (control never left the cache).
+        """
+        cost = self.cost_model
+        if translated.from_persistent and not translated.demand_loaded:
+            # Demand-page the persisted trace + its data structures.
+            stats.charge_persistence(
+                cost.pcache_trace_load + cost.pcache_meta_load
+            )
+            translated.demand_loaded = True
+        translated.executions += 1
+
+        trace = translated.trace
+        uops = trace.uops
+        entry = trace.entry
+        n = len(uops)
+        registers = machine.registers
+        points_by_index = translated.points_by_index
+        step_uop = context.step_uop
+        index = 0
+        steps = 0  # per-inst charges are batched at every exit point
+
+        def flush_exec() -> None:
+            stats.instructions_executed += steps
+            stats.charge_exec(steps * cost.translated_inst)
+
+        while True:
+            if points_by_index:
+                points = points_by_index.get(index)
+                if points:
+                    address = entry + index * INSTRUCTION_SIZE
+                    for point in points:
+                        effective = None
+                        if point.wants_effective_address:
+                            uop_ = uops[index]
+                            if uop_[0] in _MEMORY_OPS:
+                                effective = registers[uop_[2]] + uop_[4]
+                        point.callback(
+                            AnalysisContext(
+                                address=address,
+                                trace_entry=entry,
+                                index=index,
+                                machine=machine,
+                                effective_address=effective,
+                            )
+                        )
+                        charge = cost.analysis_call + point.work_cycles
+                        stats.charge_analysis(charge)
+                        stats.analysis_calls += 1
+                        accounting.record_call(point.label or "point", charge)
+
+            uop = uops[index]
+            pc_orig = entry + index * INSTRUCTION_SIZE
+            next_pc, event = step_uop(uop, pc_orig)
+            steps += 1
+            op = uop[0]
+
+            if event is not None and event.syscall is not None:
+                flush_exec()
+                stats.charge_emulation(cost.syscall_emulation)
+                stats.syscalls_emulated += 1
+                result = event.syscall
+                if result.dlopen is not None or result.dlclose is not None:
+                    apply_module_event(machine, result)
+                    return next_pc, exit_status, None
+                if result.exited or result.spawn is not None or result.yielded:
+                    # Thread-affecting syscalls: possibly switch threads
+                    # (deterministic cooperative scheduling) or end the
+                    # process when the last thread exits — which is also
+                    # the persistent-cache write-back point (§3.2.2).
+                    next_pc, status = apply_thread_event(
+                        machine, result, next_pc
+                    )
+                    if next_pc is None:
+                        return None, status, None
+                    return next_pc, exit_status, None
+                if event.is_signal_delivery:
+                    stats.charge_emulation(cost.signal_emulation)
+                    stats.signals_emulated += 1
+                # Trace ends at the syscall; resume through the map.
+                return next_pc, exit_status, None
+
+            # Opcode ranges: 0x30-0x33 conditional, >= 0x38 unconditional
+            # (see repro.isa.opcodes); integer compares keep this loop hot.
+            if _COND_LO <= op <= _COND_HI:
+                if next_pc != pc_orig + INSTRUCTION_SIZE:
+                    flush_exec()
+                    slot = translated.branch_slots[index]
+                    return self._leave_via_slot(
+                        slot, next_pc, cache, stats, exit_status
+                    )
+                # Fall through, stays inside the trace.
+            elif op >= _UNCOND_LO:
+                flush_exec()
+                if op == _HALT_OP:
+                    return None, 0, None
+                final = translated.final_slot
+                if final is not None and final.exit.kind == ExitKind.INDIRECT:
+                    stats.charge_exec(cost.indirect_resolution)
+                    stats.indirect_resolutions += 1
+                    return next_pc, exit_status, None
+                return self._leave_via_slot(
+                    final, next_pc, cache, stats, exit_status
+                )
+
+            index += 1
+            if index >= n:
+                # Instruction-limit fall-through exit.
+                flush_exec()
+                final = translated.final_slot
+                return self._leave_via_slot(
+                    final, next_pc, cache, stats, exit_status
+                )
+
+    def _leave_via_slot(
+        self,
+        slot,
+        next_pc: int,
+        cache: CodeCache,
+        stats: VMStats,
+        exit_status: int,
+    ) -> Tuple[Optional[int], int, Optional[TranslatedTrace]]:
+        """Exit a trace through a (possibly linked) direct slot.
+
+        Linked exits chain straight to the next trace.  Unlinked exits
+        whose target is already resident take one VM round-trip to patch
+        the link (lazy linking), after which they chain for free.
+        """
+        if slot is None:
+            return next_pc, exit_status, None
+        if slot.is_linked:
+            target = cache.lookup(slot.linked_entry)
+            if target is not None:
+                return next_pc, exit_status, target
+            # Stale link (target evicted); fall back to the VM.
+            slot.linked_entry = None
+        if slot.is_linkable:
+            target = cache.lookup(slot.exit.target)
+            if target is not None:
+                cost = self.cost_model
+                stats.charge_dispatch(cost.vm_entry + cost.link_patch)
+                stats.vm_entries += 1
+                stats.link_patches += 1
+                slot.linked_entry = target.entry
+                return next_pc, exit_status, target
+        return next_pc, exit_status, None

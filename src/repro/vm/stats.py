@@ -1,0 +1,146 @@
+"""Run accounting for the DBI engine.
+
+The paper's measurements hinge on one decomposition (§2.2, Figure 5(b)):
+
+* **VM overhead** — "the cost of dynamically generating application code":
+  trace translation, dispatcher round-trips, link patching, code-cache
+  flushes, and (with persistence) cache load/validation/write work.
+* **Translated code performance** — time spent executing application code
+  inside the code cache, including indirect-branch resolution, syscall and
+  signal *emulation* (charged to translated-code time: the paper attributes
+  File-Roller's emulation cost to "poor translated code performance"), and
+  instrumentation analysis routines.
+
+:class:`VMStats` keeps every component separately and maintains a running
+total so translation events can be timestamped for the Figure 2(a)
+timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class VMStats:
+    """Cycle and event accounting for one run under the VM."""
+
+    # -- VM overhead components ------------------------------------------------
+    translation_cycles: float = 0.0
+    dispatch_cycles: float = 0.0
+    persistence_cycles: float = 0.0
+    # -- translated-code components ---------------------------------------------
+    translated_exec_cycles: float = 0.0
+    emulation_cycles: float = 0.0
+    analysis_cycles: float = 0.0
+
+    # -- event counters -----------------------------------------------------------
+    instructions_executed: int = 0
+    traces_translated: int = 0
+    traces_from_persistent: int = 0
+    persistent_traces_invalidated: int = 0
+    vm_entries: int = 0
+    link_patches: int = 0
+    indirect_resolutions: int = 0
+    syscalls_emulated: int = 0
+    signals_emulated: int = 0
+    cache_flushes: int = 0
+    analysis_calls: int = 0
+    smc_invalidations: int = 0
+    module_loads: int = 0
+    module_unloads: int = 0
+    module_traces_retained: int = 0
+
+    #: (cycle timestamp, original entry address) per translation request —
+    #: the vertical lines of Figure 2(a).
+    translation_events: List[Tuple[float, int]] = field(default_factory=list)
+
+    #: Static code translated, by image path (for coverage accounting).
+    translated_bytes_by_image: Dict[str, int] = field(default_factory=dict)
+
+    #: ``(image_path, image_offset, size)`` of every trace translated this
+    #: run — the static code footprint used for code-coverage matrices.
+    trace_identities: set = field(default_factory=set)
+
+    _total: float = 0.0
+
+    # -- charging helpers ---------------------------------------------------------
+
+    def charge_translation(self, cycles: float) -> None:
+        """Charge trace-compilation work (VM overhead)."""
+        self.translation_cycles += cycles
+        self._total += cycles
+
+    def charge_dispatch(self, cycles: float) -> None:
+        """Charge VM round-trips, linking, flushes (VM overhead)."""
+        self.dispatch_cycles += cycles
+        self._total += cycles
+
+    def charge_persistence(self, cycles: float) -> None:
+        """Charge cache load/validate/write work (VM overhead)."""
+        self.persistence_cycles += cycles
+        self._total += cycles
+
+    def charge_exec(self, cycles: float) -> None:
+        """Charge code-cache execution of application code."""
+        self.translated_exec_cycles += cycles
+        self._total += cycles
+
+    def charge_emulation(self, cycles: float) -> None:
+        """Charge syscall/signal emulation (translated-code time)."""
+        self.emulation_cycles += cycles
+        self._total += cycles
+
+    def charge_analysis(self, cycles: float) -> None:
+        """Charge instrumentation analysis (translated-code time)."""
+        self.analysis_cycles += cycles
+        self._total += cycles
+
+    def record_translation_event(self, entry: int) -> None:
+        """Timestamp a translation request (Figure 2(a) data point)."""
+        self.translation_events.append((self._total, entry))
+
+    # -- aggregates -----------------------------------------------------------------
+
+    @property
+    def vm_overhead_cycles(self) -> float:
+        """Cost of dynamically generating application code (paper §2.2)."""
+        return (
+            self.translation_cycles
+            + self.dispatch_cycles
+            + self.persistence_cycles
+        )
+
+    @property
+    def translated_code_cycles(self) -> float:
+        """Time executing the dynamically compiled application code."""
+        return (
+            self.translated_exec_cycles
+            + self.emulation_cycles
+            + self.analysis_cycles
+        )
+
+    @property
+    def total_cycles(self) -> float:
+        """All cycles charged so far (the run's simulated time)."""
+        return self._total
+
+    def overhead_fraction(self) -> float:
+        """VM overhead as a fraction of the total run time."""
+        total = self.total_cycles
+        return self.vm_overhead_cycles / total if total else 0.0
+
+    def breakdown(self) -> Dict[str, float]:
+        """All components, for reports."""
+        return {
+            "translation": self.translation_cycles,
+            "dispatch": self.dispatch_cycles,
+            "persistence": self.persistence_cycles,
+            "translated_exec": self.translated_exec_cycles,
+            "emulation": self.emulation_cycles,
+            "analysis": self.analysis_cycles,
+            "vm_overhead": self.vm_overhead_cycles,
+            "translated_code": self.translated_code_cycles,
+            "total": self.total_cycles,
+        }

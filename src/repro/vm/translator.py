@@ -1,0 +1,225 @@
+"""The compilation unit: turns selected traces into code-cache residents.
+
+Translation does *not* transform application instructions (Pin "does not
+attempt original program optimization"); it:
+
+* re-encodes the trace's instructions into the code cache,
+* materializes an *exit stub* per trace exit (the translated branch that
+  either links directly to another trace or trampolines into the VM),
+* injects the tool's instrumentation points as analysis-call stubs,
+* computes per-instruction register liveness (Pin uses liveness to place
+  instrumentation without spilling; here the liveness vectors are also the
+  dominant "data structures" payload of Figure 9),
+* sizes the per-trace metadata that the persistent cache must store.
+
+The code expansion factors are explicit constants so the static
+pre-translation ablation (paper §5: ~10x expansion offline vs. executed-only
+persistent caching) measures real bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.encoding import encode_all
+from repro.isa.instructions import Instruction
+from repro.isa import instructions as ins
+from repro.isa import registers as regs
+from repro.machine.costs import CostModel
+from repro.vm.client import InstrumentationPoint, PointKind, Tool
+from repro.vm.trace import ExitKind, Trace, TraceExit
+
+#: Encoded instructions emitted per exit stub (compare/branch + trampoline).
+STUB_INSTS_PER_EXIT = 2
+#: Encoded instructions emitted per instrumentation point (spill, call,
+#: restore — the bridge into analysis code).
+STUB_INSTS_PER_POINT = 3
+
+# -- per-trace metadata footprint (bytes), the Figure 9 "data structures" --
+#: C++ trace object: vtable, entry, image back-pointer, flags, chain hooks.
+TRACE_OBJECT_BYTES = 112
+#: Register-bindings record for the trace (paper: "register bindings").
+REGISTER_BINDINGS_BYTES = 64
+#: Liveness vector per instruction.
+LIVENESS_BYTES_PER_INST = 8
+#: Translation-map/address-table entry per instruction.
+ADDR_TABLE_BYTES_PER_INST = 8
+#: Incoming/outgoing link record per exit.
+LINK_RECORD_BYTES = 56
+
+
+@dataclass
+class LinkSlot:
+    """The mutable link state of one trace exit.
+
+    ``linked_entry`` is the original entry address of the trace this exit
+    has been patched to jump to directly, or None while the exit still
+    trampolines into the VM.
+    """
+
+    exit: TraceExit
+    linked_entry: Optional[int] = None
+
+    @property
+    def is_linked(self) -> bool:
+        return self.linked_entry is not None
+
+    @property
+    def is_linkable(self) -> bool:
+        """Static-target exits can be patched; indirect ones never are."""
+        return self.exit.target is not None and self.exit.kind not in (
+            ExitKind.SYSCALL,
+            ExitKind.HALT,
+        )
+
+
+@dataclass
+class TranslatedTrace:
+    """A trace resident in the code cache."""
+
+    trace: Trace
+    cache_offset: int = 0  # offset within the code pool
+    code_bytes: bytes = b""
+    code_size: int = 0
+    data_size: int = 0
+    points: List[InstrumentationPoint] = field(default_factory=list)
+    #: Points grouped by instruction index for the dispatcher's hot loop.
+    points_by_index: Dict[int, List[InstrumentationPoint]] = field(
+        default_factory=dict
+    )
+    liveness: List[int] = field(default_factory=list)
+    links: List[LinkSlot] = field(default_factory=list)
+    #: True when the trace came from a persistent cache, not translation.
+    from_persistent: bool = False
+    #: Persisted traces are demand-paged: the first execution pays the load.
+    demand_loaded: bool = False
+    executions: int = 0
+    #: BRANCH_TAKEN link slots keyed by instruction index (dispatcher use).
+    branch_slots: Dict[int, LinkSlot] = field(default_factory=dict)
+    #: The terminator/fall-through link slot (always the last exit).
+    final_slot: Optional[LinkSlot] = None
+
+    @property
+    def entry(self) -> int:
+        return self.trace.entry
+
+    def link_for_exit(self, exit_index: int) -> LinkSlot:
+        return self.links[exit_index]
+
+
+def index_links(translated: TranslatedTrace) -> TranslatedTrace:
+    """(Re)build the dispatcher's per-index link lookup structures."""
+    translated.branch_slots = {
+        slot.exit.index: slot
+        for slot in translated.links
+        if slot.exit.kind == ExitKind.BRANCH_TAKEN
+    }
+    translated.final_slot = translated.links[-1] if translated.links else None
+    return translated
+
+
+@dataclass
+class TranslationResult:
+    """A translated trace plus what it cost to produce."""
+
+    translated: TranslatedTrace
+    compile_cycles: float
+
+
+def compute_liveness(trace: Trace) -> List[int]:
+    """Backward liveness over the trace; one register bitmask per inst.
+
+    Live-out of the trace is conservatively all registers (control can
+    leave to anywhere).  Within the trace:
+    ``live_in = (live_out - written) | read``; additionally every
+    side-exit keeps everything alive at its instruction, matching the
+    conservative treatment a real translator applies at stub boundaries.
+    """
+    all_live = (1 << regs.NUM_REGISTERS) - 1
+    exit_indices = {e.index for e in trace.exits}
+    live = all_live
+    result = [0] * len(trace.instructions)
+    for index in range(len(trace.instructions) - 1, -1, -1):
+        inst = trace.instructions[index]
+        if index in exit_indices:
+            live = all_live
+        written = 0
+        for reg in inst.registers_written():
+            written |= 1 << reg
+        read = 0
+        for reg in inst.registers_read():
+            read |= 1 << reg
+        live = (live & ~written) | read
+        result[index] = live
+    return result
+
+
+def _emit_stub_code(trace: Trace, n_points: int) -> List[Instruction]:
+    """Materialize the translated-code bytes for stubs.
+
+    The stubs are structural (the dispatcher interprets trace objects, not
+    these bytes) but they are *real* encoded instructions whose size is
+    what the code pool and the persistent cache store, so code-expansion
+    numbers are honest.
+    """
+    stubs: List[Instruction] = []
+    for trace_exit in trace.exits:
+        target = trace_exit.target or 0
+        # Trampoline: materialize target, jump to dispatcher.
+        stubs.append(ins.movi(regs.AT, target & 0x7FFFFFFF))
+        stubs.append(ins.jmp(0))
+    for _ in range(n_points * STUB_INSTS_PER_POINT):
+        stubs.append(ins.nop())
+    return stubs
+
+
+class Translator:
+    """Compiles traces, charging the cost model for the work."""
+
+    def __init__(self, cost_model: CostModel, tool: Optional[Tool] = None):
+        self.cost_model = cost_model
+        self.tool = tool
+
+    def translate(self, trace: Trace) -> TranslationResult:
+        """Compile ``trace`` (with instrumentation, if a tool is present)."""
+        points = list(self.tool.instrument_trace(trace)) if self.tool else []
+        n_insts = len(trace.instructions)
+
+        body = encode_all(trace.instructions)
+        stubs = encode_all(_emit_stub_code(trace, len(points)))
+        code_bytes = body + stubs
+
+        liveness = compute_liveness(trace)
+        data_size = (
+            TRACE_OBJECT_BYTES
+            + REGISTER_BINDINGS_BYTES
+            + n_insts * (LIVENESS_BYTES_PER_INST + ADDR_TABLE_BYTES_PER_INST)
+            + len(trace.exits) * LINK_RECORD_BYTES
+        )
+
+        points_by_index: Dict[int, List[InstrumentationPoint]] = {}
+        for point in points:
+            index = 0 if point.kind == PointKind.TRACE_ENTRY else point.index
+            points_by_index.setdefault(index, []).append(point)
+
+        translated = TranslatedTrace(
+            trace=trace,
+            code_bytes=code_bytes,
+            code_size=len(code_bytes),
+            data_size=data_size,
+            points=points,
+            points_by_index=points_by_index,
+            liveness=liveness,
+            links=[LinkSlot(exit=e) for e in trace.exits],
+        )
+        index_links(translated)
+
+        cost = self.cost_model
+        instrumentation_weight = sum(point.compile_weight for point in points)
+        compile_cycles = (
+            cost.trace_compile_fixed
+            + n_insts * cost.trace_compile_per_inst
+            + instrumentation_weight * cost.instrument_compile_per_inst
+        )
+        return TranslationResult(translated=translated, compile_cycles=compile_cycles)

@@ -1,0 +1,103 @@
+"""Synthetic workload suites: SPEC2K INT analogs, GUI apps, Oracle DB."""
+
+from repro.workloads.builder import (
+    AppBuilder,
+    FeatureBlock,
+    FunctionCode,
+    InputSpec,
+    MAX_FEATURES,
+    WorkloadBuildError,
+    leaf_function,
+    loop_function,
+    nonleaf_function,
+)
+from repro.workloads.corpus import (
+    LibrarySpec,
+    build_corpus,
+    build_library,
+    default_gui_corpus,
+)
+from repro.workloads.gui import (
+    GUI_APPS,
+    GuiAppParams,
+    build_gui_app,
+    build_gui_suite,
+    common_library_matrix,
+)
+from repro.workloads.harness import Workload, run_native, run_vm
+from repro.workloads.regression import (
+    RegressionDriver,
+    RegressionReport,
+    TestOutcome,
+    interleaved_cases,
+    round_robin_cases,
+)
+from repro.workloads.oracle import (
+    ORACLE_BLOCKS,
+    PHASES,
+    PHASE_ITERATIONS,
+    build_oracle,
+    expected_coverage_matrix,
+    phase_features,
+    unit_test_sequence,
+)
+from repro.workloads.shell import (
+    SHELL_TOOLS,
+    ShellToolParams,
+    build_shell_suite,
+    build_shell_tool,
+)
+from repro.workloads.spec2k import (
+    MULTI_INPUT_BENCHMARKS,
+    SPEC2K_INT,
+    SpecParams,
+    TRAIN_DIVISOR,
+    build_benchmark,
+    build_suite,
+)
+
+__all__ = [
+    "AppBuilder",
+    "FeatureBlock",
+    "FunctionCode",
+    "GUI_APPS",
+    "GuiAppParams",
+    "InputSpec",
+    "LibrarySpec",
+    "MAX_FEATURES",
+    "MULTI_INPUT_BENCHMARKS",
+    "ORACLE_BLOCKS",
+    "PHASES",
+    "PHASE_ITERATIONS",
+    "RegressionDriver",
+    "RegressionReport",
+    "TestOutcome",
+    "SHELL_TOOLS",
+    "SPEC2K_INT",
+    "ShellToolParams",
+    "SpecParams",
+    "TRAIN_DIVISOR",
+    "Workload",
+    "WorkloadBuildError",
+    "build_benchmark",
+    "build_corpus",
+    "build_gui_app",
+    "build_gui_suite",
+    "build_library",
+    "build_oracle",
+    "build_shell_suite",
+    "build_shell_tool",
+    "build_suite",
+    "common_library_matrix",
+    "default_gui_corpus",
+    "expected_coverage_matrix",
+    "interleaved_cases",
+    "leaf_function",
+    "loop_function",
+    "nonleaf_function",
+    "phase_features",
+    "round_robin_cases",
+    "run_native",
+    "run_vm",
+    "unit_test_sequence",
+]

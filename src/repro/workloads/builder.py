@@ -1,0 +1,414 @@
+"""Program-construction DSL for synthetic workloads.
+
+Every evaluated application (SPEC2K analogs, GUI apps, the Oracle-like
+database) is generated from the same building blocks:
+
+* **leaf functions** — straight-line ALU bodies ending in ``ret``;
+* **non-leaf functions** — bodies with calls interspersed, with a proper
+  link-register spill prologue/epilogue;
+* **loop functions** — run their body ``a0`` times (hot kernels, init
+  loops);
+* a **main** that (1) runs the base initialization calls unconditionally,
+  (2) dispatches *feature blocks* according to a bitmask argument, and
+  (3) drives the hot kernel for an argument-controlled iteration count.
+
+The feature-mask dispatch is how experiments control *code coverage
+between inputs*: each input is a (mask, hot-iterations) pair, and the
+static code an input touches is base + its mask's blocks.  Masks cover up
+to :data:`MAX_FEATURES` blocks (bits 0-30 in ``a0``, 31-61 in ``a1``).
+
+All code generation is deterministic in the provided seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.binfmt.image import Image, ImageBuilder, ImageKind
+from repro.isa import instructions as ins
+from repro.isa import registers as regs
+from repro.isa.instructions import Instruction
+from repro.machine.syscalls import SYS_EXIT
+
+#: Feature-block capacity of the two mask registers (31 + 31 bits).
+MAX_FEATURES = 62
+
+_ALU_SCRATCH = list(range(regs.T0 + 1, regs.T0 + 8))  # t1..t7
+
+
+class WorkloadBuildError(Exception):
+    """Raised when a workload specification is inconsistent."""
+
+
+@dataclass
+class FunctionCode:
+    """Instructions plus the symbolic call sites inside them."""
+
+    code: List[Instruction] = field(default_factory=list)
+    symbol_refs: List[Tuple[int, str]] = field(default_factory=list)
+
+    def emit(self, inst: Instruction) -> None:
+        self.code.append(inst)
+
+    def emit_call(self, symbol: str) -> None:
+        self.symbol_refs.append((len(self.code), symbol))
+        self.code.append(ins.call(0))
+
+
+def _emit_alu(fn: FunctionCode, rng: random.Random, count: int) -> None:
+    """Append ``count`` deterministic, fault-free body instructions.
+
+    The mix is ~70% ALU and ~30% loads/stores against scratch slots just
+    below the stack pointer, approximating real integer code's memory-op
+    density (which memory-reference instrumentation depends on).
+    """
+    for _ in range(count):
+        choice = rng.randrange(10)
+        rd = rng.choice(_ALU_SCRATCH)
+        rs1 = rng.choice(_ALU_SCRATCH)
+        rs2 = rng.choice(_ALU_SCRATCH)
+        if choice == 0:
+            fn.emit(ins.add(rd, rs1, rs2))
+        elif choice == 1:
+            fn.emit(ins.xor(rd, rs1, rs2))
+        elif choice == 2:
+            fn.emit(ins.addi(rd, rs1, rng.randrange(-64, 64)))
+        elif choice == 3:
+            fn.emit(ins.sub(rd, rs1, rs2))
+        elif choice == 4:
+            fn.emit(ins.slt(rd, rs1, rs2))
+        elif choice == 5:
+            fn.emit(ins.shli(rd, rs1, rng.randrange(1, 8)))
+        elif choice == 6:
+            fn.emit(ins.ori(rd, rs1, rng.randrange(0, 255)))
+        elif choice in (7, 8):
+            fn.emit(ins.st(regs.SP, rs1, -8 * rng.randrange(1, 5)))
+        else:
+            fn.emit(ins.ld(rd, regs.SP, -8 * rng.randrange(1, 5)))
+
+
+def leaf_function(rng: random.Random, size: int) -> FunctionCode:
+    """A straight-line function of ``size`` instructions (incl. ``ret``)."""
+    if size < 2:
+        raise WorkloadBuildError("leaf function needs size >= 2")
+    fn = FunctionCode()
+    _emit_alu(fn, rng, size - 1)
+    fn.emit(ins.ret())
+    return fn
+
+
+def nonleaf_function(
+    rng: random.Random, size: int, callees: Sequence[str]
+) -> FunctionCode:
+    """A function of ~``size`` instructions calling each callee once.
+
+    The prologue spills the link register so nested calls are safe.
+    """
+    overhead = 5 + len(callees)
+    if size < overhead + 1:
+        size = overhead + 1
+    fn = FunctionCode()
+    fn.emit(ins.addi(regs.SP, regs.SP, -16))
+    fn.emit(ins.st(regs.SP, regs.LR, 0))
+    body = size - overhead
+    chunks = len(callees) + 1
+    per_chunk, remainder = divmod(body, chunks)
+    for position, callee in enumerate(callees):
+        _emit_alu(fn, rng, per_chunk + (1 if position < remainder else 0))
+        fn.emit_call(callee)
+    _emit_alu(fn, rng, per_chunk)
+    fn.emit(ins.ld(regs.LR, regs.SP, 0))
+    fn.emit(ins.addi(regs.SP, regs.SP, 16))
+    fn.emit(ins.ret())
+    return fn
+
+
+def loop_function(
+    rng: random.Random,
+    body_size: int,
+    callees: Sequence[str],
+    memory_ops: int = 0,
+    syscalls_per_iteration: int = 0,
+) -> FunctionCode:
+    """A function running its body ``a0`` times.
+
+    The body contains ``body_size`` ALU instructions, one call per callee,
+    optionally a few load/store pairs against the stack (to exercise
+    memory instrumentation), and optionally ``rand`` syscalls (to model
+    syscall-heavy applications like the database, whose translated-code
+    overhead is dominated by syscall emulation).  Saves ``lr`` and ``s0``
+    (the loop counter).
+    """
+    fn = FunctionCode()
+    fn.emit(ins.addi(regs.SP, regs.SP, -32))
+    fn.emit(ins.st(regs.SP, regs.LR, 0))
+    fn.emit(ins.st(regs.SP, regs.S0, 8))
+    fn.emit(ins.movi(regs.S0, 0))
+    loop_head = len(fn.code)
+    for callee in callees:
+        fn.emit_call(callee)
+    for _ in range(memory_ops):
+        fn.emit(ins.st(regs.SP, regs.S0, 16))
+        fn.emit(ins.ld(regs.T0, regs.SP, 16))
+    for _ in range(syscalls_per_iteration):
+        fn.emit(ins.movi(regs.RV, 6))  # SYS_RAND: side-effect free
+        fn.emit(ins.syscall())
+    _emit_alu(fn, rng, max(1, body_size))
+    fn.emit(ins.addi(regs.S0, regs.S0, 1))
+    # blt s0, a0, loop_head
+    here = len(fn.code)
+    offset = (loop_head - (here + 1)) * 8
+    fn.emit(ins.blt(regs.S0, regs.A0, offset))
+    fn.emit(ins.ld(regs.S0, regs.SP, 8))
+    fn.emit(ins.ld(regs.LR, regs.SP, 0))
+    fn.emit(ins.addi(regs.SP, regs.SP, 32))
+    fn.emit(ins.ret())
+    return fn
+
+
+@dataclass
+class InputSpec:
+    """One input (or phase) of a workload.
+
+    Attributes:
+        name: Input label ("ref-1", "train", "Open", ...).
+        features: Indices of the feature blocks this input exercises.
+        hot_iterations: Trip count handed to the hot driver.
+        exit_status: Expected program exit status (for output checking).
+    """
+
+    name: str
+    features: frozenset = frozenset()
+    hot_iterations: int = 100
+    exit_status: int = 0
+
+    def to_args(self) -> Tuple[int, int, int]:
+        """Encode as the ``(a0, a1, a2)`` argument triple main expects."""
+        mask_lo = 0
+        mask_hi = 0
+        for feature in sorted(self.features):
+            if not 0 <= feature < MAX_FEATURES:
+                raise WorkloadBuildError("feature index %d out of range" % feature)
+            if feature < 31:
+                mask_lo |= 1 << feature
+            else:
+                mask_hi |= 1 << (feature - 31)
+        return (mask_lo, mask_hi, self.hot_iterations)
+
+
+@dataclass
+class FeatureBlock:
+    """One selectable feature: a function subtree of a given footprint.
+
+    Attributes:
+        index: Bit position in the input mask.
+        size: Approximate instruction footprint of the block (split over
+            a driver function and its sub-functions).
+        subfunctions: How many sub-functions to split the block over.
+        library_calls: Symbols in shared libraries the block calls (used
+            by GUI workloads to make startup execute library code).
+        repeat: How many times the block body runs when selected (drives
+            the executed-vs-translated ratio of cold code).
+    """
+
+    index: int
+    size: int = 60
+    subfunctions: int = 3
+    library_calls: Tuple[str, ...] = ()
+    repeat: int = 1
+
+
+class AppBuilder:
+    """Assembles a complete synthetic application image."""
+
+    def __init__(
+        self,
+        path: str,
+        seed: int,
+        needed: Sequence[str] = (),
+        mtime: int = 1,
+        interleave_hot_shift: Optional[int] = None,
+    ):
+        """Args:
+            path: Image path/identity.
+            seed: Code-generation seed (deterministic output per seed).
+            needed: Shared-library dependency list, load order.
+            mtime: Modification timestamp baked into the image.
+            interleave_hot_shift: When set, main runs a hot-kernel burst of
+                ``hot_iterations >> shift`` trips after *every* feature
+                block, interleaving cold-code discovery with steady-state
+                execution — the gcc-like profile where translation requests
+                continue throughout the run (Figure 2(a)).  None keeps the
+                default cold-startup-then-hot-loop profile.
+        """
+        self.path = path
+        self.rng = random.Random(seed)
+        self._image = ImageBuilder(
+            path, ImageKind.EXECUTABLE, needed=needed, mtime=mtime
+        )
+        self._init_calls: List[str] = []
+        self._features: Dict[int, str] = {}
+        self._hot_driver: Optional[str] = None
+        self._interleave_hot_shift = interleave_hot_shift
+        self._functions_added = 0
+
+    # -- low-level ----------------------------------------------------------
+
+    def add_function(self, name: str, fn: FunctionCode) -> None:
+        self._image.add_function(name, fn.code, symbol_refs=fn.symbol_refs)
+        self._functions_added += 1
+
+    # -- base (always-executed) code ------------------------------------------
+
+    def add_custom_init(self, name: str, fn: FunctionCode) -> None:
+        """Register a hand-built function as unconditional startup code."""
+        self.add_function(name, fn)
+        self._init_calls.append(name)
+
+    def add_init_block(
+        self,
+        name: str,
+        size: int = 80,
+        subfunctions: int = 2,
+        library_calls: Sequence[str] = (),
+        repeat: int = 1,
+    ) -> None:
+        """Unconditional startup code: executed by every input."""
+        driver = self._add_block_tree(
+            name, size, subfunctions, tuple(library_calls), repeat
+        )
+        self._init_calls.append(driver)
+
+    # -- feature blocks -----------------------------------------------------------
+
+    def add_feature(self, block: FeatureBlock) -> None:
+        """Mask-selectable code: executed when the input sets its bit."""
+        if block.index in self._features:
+            raise WorkloadBuildError("feature %d already defined" % block.index)
+        if not 0 <= block.index < MAX_FEATURES:
+            raise WorkloadBuildError("feature index %d out of range" % block.index)
+        driver = self._add_block_tree(
+            "feature_%d" % block.index,
+            block.size,
+            block.subfunctions,
+            block.library_calls,
+            block.repeat,
+        )
+        self._features[block.index] = driver
+
+    def _add_block_tree(
+        self,
+        name: str,
+        size: int,
+        subfunctions: int,
+        library_calls: Tuple[str, ...],
+        repeat: int,
+    ) -> str:
+        """Build a driver + sub-function tree of roughly ``size`` insts.
+
+        Returns the name of the entry function.  When ``repeat`` > 1 the
+        driver is wrapped in a loop run ``repeat`` times (the loop trip
+        count is baked in, keeping main's argument protocol simple).
+        """
+        subfunctions = max(0, subfunctions)
+        sub_names = []
+        per_sub = size // (subfunctions + 1) if subfunctions else 0
+        for sub_index in range(subfunctions):
+            sub_name = "%s_sub%d" % (name, sub_index)
+            self.add_function(
+                sub_name, leaf_function(self.rng, max(2, per_sub))
+            )
+            sub_names.append(sub_name)
+        driver_size = max(6 + len(sub_names) + len(library_calls), size - per_sub * subfunctions)
+        body = nonleaf_function(
+            self.rng, driver_size, list(sub_names) + list(library_calls)
+        )
+        body_name = "%s_body" % name
+        self.add_function(body_name, body)
+        if repeat <= 1:
+            return body_name
+        wrapper = FunctionCode()
+        wrapper.emit(ins.addi(regs.SP, regs.SP, -32))
+        wrapper.emit(ins.st(regs.SP, regs.LR, 0))
+        wrapper.emit(ins.st(regs.SP, regs.S1, 8))
+        wrapper.emit(ins.movi(regs.S1, 0))
+        loop_head = len(wrapper.code)
+        wrapper.emit_call(body_name)
+        wrapper.emit(ins.addi(regs.S1, regs.S1, 1))
+        limit_reg = regs.T0
+        wrapper.emit(ins.movi(limit_reg, repeat))
+        here = len(wrapper.code)
+        wrapper.emit(ins.blt(regs.S1, limit_reg, (loop_head - (here + 1)) * 8))
+        wrapper.emit(ins.ld(regs.S1, regs.SP, 8))
+        wrapper.emit(ins.ld(regs.LR, regs.SP, 0))
+        wrapper.emit(ins.addi(regs.SP, regs.SP, 32))
+        wrapper.emit(ins.ret())
+        wrapper_name = "%s_driver" % name
+        self.add_function(wrapper_name, wrapper)
+        return wrapper_name
+
+    # -- hot kernel ----------------------------------------------------------------
+
+    def set_hot_kernel(
+        self,
+        size: int = 40,
+        helpers: int = 2,
+        helper_size: int = 12,
+        memory_ops: int = 1,
+        syscalls_per_iteration: int = 0,
+    ) -> None:
+        """The steady-state loop main drives with the iteration argument."""
+        helper_names = []
+        for helper_index in range(helpers):
+            name = "hot_helper_%d" % helper_index
+            self.add_function(name, leaf_function(self.rng, helper_size))
+            helper_names.append(name)
+        self.add_function(
+            "hot_kernel",
+            loop_function(
+                self.rng,
+                size,
+                helper_names,
+                memory_ops=memory_ops,
+                syscalls_per_iteration=syscalls_per_iteration,
+            ),
+        )
+        self._hot_driver = "hot_kernel"
+
+    # -- main + build ------------------------------------------------------------------
+
+    def build(self) -> Image:
+        """Emit main and finish the image."""
+        main = FunctionCode()
+        # Preserve the three arguments across calls: masks in s0/s1, the
+        # hot iteration count on the stack.
+        main.emit(ins.addi(regs.SP, regs.SP, -16))
+        main.emit(ins.st(regs.SP, regs.A2, 0))
+        main.emit(ins.or_(regs.S0, regs.A0, regs.ZERO))
+        main.emit(ins.or_(regs.S1, regs.A1, regs.ZERO))
+        for init_name in self._init_calls:
+            main.emit_call(init_name)
+        for index in sorted(self._features):
+            mask_reg = regs.S0 if index < 31 else regs.S1
+            bit = 1 << (index if index < 31 else index - 31)
+            main.emit(ins.andi(regs.T0, mask_reg, bit))
+            # beq t0, zero, +8  (skip the call)
+            main.emit(ins.beq(regs.T0, regs.ZERO, 8))
+            main.emit_call(self._features[index])
+            if self._interleave_hot_shift is not None and self._hot_driver:
+                # Interleaved hot burst: cold discovery continues through
+                # the whole run (the 176.gcc profile).
+                main.emit(ins.ld(regs.A0, regs.SP, 0))
+                main.emit(ins.shri(regs.A0, regs.A0, self._interleave_hot_shift))
+                main.emit_call(self._hot_driver)
+        if self._hot_driver is not None:
+            main.emit(ins.ld(regs.A0, regs.SP, 0))
+            main.emit_call(self._hot_driver)
+        main.emit(ins.movi(regs.RV, SYS_EXIT))
+        main.emit(ins.movi(regs.A0, 0))
+        main.emit(ins.syscall())
+        self.add_function("main", main)
+        self._image.set_entry("main")
+        return self._image.build()

@@ -1,0 +1,103 @@
+"""Shared-library corpus.
+
+GUI applications in the paper execute 80-97% of their startup code out of
+shared libraries (Table 1) and share many libraries with one another
+(Table 2), which is what inter-application persistence exploits.  This
+module generates the corpus of synthetic libraries those experiments use.
+
+Each library exports ``n_funcs`` functions named ``<stem>_fn<i>``; every
+fourth function is a non-leaf calling two earlier ones, so libraries have
+internal call structure (and therefore multi-trace translation units).
+Each library also exports ``<stem>_init``, a driver that touches a spread
+of the library's functions — the "library initialization" code GUI
+startup burns its time in.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.binfmt.image import Image, ImageKind, ImageBuilder
+from repro.loader.linker import ImageStore
+from repro.workloads.builder import leaf_function, nonleaf_function
+
+
+@dataclass(frozen=True)
+class LibrarySpec:
+    """Parameters of one synthetic shared library."""
+
+    path: str  # e.g. "libglib.so"
+    n_funcs: int = 24
+    func_size: int = 22
+    seed: int = 0
+    mtime: int = 1
+
+    @property
+    def stem(self) -> str:
+        """Symbol prefix derived from the path ("libglib.so" -> "libglib")."""
+        return self.path.split(".")[0].replace("-", "_")
+
+    def function_names(self) -> List[str]:
+        return ["%s_fn%d" % (self.stem, i) for i in range(self.n_funcs)]
+
+    @property
+    def init_symbol(self) -> str:
+        return "%s_init" % self.stem
+
+
+def build_library(spec: LibrarySpec) -> Image:
+    """Generate the image for ``spec`` (deterministic in its seed)."""
+    rng = random.Random(spec.seed ^ hash(spec.path) & 0xFFFF)
+    builder = ImageBuilder(
+        spec.path, ImageKind.SHARED_LIBRARY, mtime=spec.mtime
+    )
+    names = spec.function_names()
+    for index, name in enumerate(names):
+        if index >= 4 and index % 4 == 0:
+            callees = [names[index - 1], names[index - 3]]
+            fn = nonleaf_function(rng, spec.func_size + 7, callees)
+        else:
+            fn = leaf_function(rng, spec.func_size)
+        builder.add_function(name, fn.code, symbol_refs=fn.symbol_refs)
+    # The init driver touches a representative spread of the library.
+    touched = names[:: max(1, len(names) // 8)]
+    init = nonleaf_function(rng, spec.func_size + 5 + len(touched), touched)
+    builder.add_function(spec.init_symbol, init.code, symbol_refs=init.symbol_refs)
+    return builder.build()
+
+
+def build_corpus(specs: Sequence[LibrarySpec]) -> ImageStore:
+    """Build every library into a resolver the loader can use."""
+    store = ImageStore()
+    for spec in specs:
+        store.add(build_library(spec))
+    return store
+
+
+def default_gui_corpus() -> Dict[str, LibrarySpec]:
+    """The library set shared by the five GUI applications.
+
+    Sizes are chosen so that library code dominates each app's startup
+    footprint (Table 1's 80-97%) and so that the widely shared toolkit
+    libraries (libc/libglib/libgtk/...) carry most of the code.
+    """
+    specs = [
+        LibrarySpec("libc.so", n_funcs=40, func_size=20, seed=101),
+        LibrarySpec("libglib.so", n_funcs=36, func_size=22, seed=102),
+        LibrarySpec("libgtk.so", n_funcs=48, func_size=24, seed=103),
+        LibrarySpec("libgdk.so", n_funcs=30, func_size=22, seed=104),
+        LibrarySpec("libpango.so", n_funcs=24, func_size=20, seed=105),
+        LibrarySpec("libcairo.so", n_funcs=24, func_size=22, seed=106),
+        LibrarySpec("libxml.so", n_funcs=20, func_size=22, seed=107),
+        LibrarySpec("libpng.so", n_funcs=16, func_size=20, seed=108),
+        LibrarySpec("libz.so", n_funcs=12, func_size=18, seed=109),
+        LibrarySpec("libssl.so", n_funcs=20, func_size=22, seed=110),
+        LibrarySpec("libftp.so", n_funcs=16, func_size=20, seed=111),
+        LibrarySpec("libvimcore.so", n_funcs=22, func_size=22, seed=112),
+        LibrarySpec("libdiagram.so", n_funcs=18, func_size=22, seed=113),
+        LibrarySpec("libarchive.so", n_funcs=18, func_size=22, seed=114),
+        LibrarySpec("libimg.so", n_funcs=18, func_size=20, seed=115),
+    ]
+    return {spec.path: spec for spec in specs}

@@ -1,0 +1,222 @@
+"""GUI application analogs (Table 1's five Linux desktop programs).
+
+The paper evaluates GUI programs "only for their startup phase; the time
+it takes for the graphic interface to be ready for user interaction"
+(§4.1), and finds:
+
+* startup under the VM is 20-100x slower than native (Figure 2(b)),
+  because startup is almost entirely cold code;
+* 80-97% of the startup code comes from shared libraries (Table 1);
+* the applications share most of those libraries (Table 2), executing
+  overlapping subsets of their code (Table 4) — the basis of
+  inter-application persistence (Figure 8);
+* File-Roller "replaces the operating system's signal handlers with its
+  own, which requires Pin to intercept and emulate signals", giving it
+  poor *translated-code* performance on top of VM overhead.
+
+Every app's dependency list starts with the same canonical toolkit prefix
+(libc, libglib, libgtk, libgdk, libpango), so the loader maps those
+libraries at identical bases across applications — making their persisted
+translations reusable across programs.  App-specific libraries load after
+the prefix; where an app's middle dependencies differ (e.g. Gvim loads
+libvimcore where others load libcairo), the downstream libraries land at
+different bases and their traces are invalidated on inter-application
+reuse, reproducing the paper's "falls back to retranslation" losses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.isa import instructions as ins
+from repro.isa import registers as regs
+from repro.loader.linker import ImageStore
+from repro.machine.syscalls import SYS_KILL, SYS_SIGACTION
+from repro.workloads.builder import AppBuilder, FunctionCode, InputSpec, leaf_function
+from repro.workloads.corpus import LibrarySpec, build_corpus, default_gui_corpus
+from repro.workloads.harness import Workload
+
+#: The toolkit prefix every GUI app depends on, in canonical load order.
+COMMON_PREFIX = ("libc.so", "libglib.so", "libgtk.so", "libgdk.so", "libpango.so")
+
+
+@dataclass(frozen=True)
+class GuiAppParams:
+    """Generation parameters for one GUI application."""
+
+    name: str
+    seed: int
+    #: Full dependency list, canonical order (prefix + app-specific).
+    needed: Tuple[str, ...]
+    #: Fraction of each library's functions the app executes at startup.
+    lib_coverage: float
+    #: Phase offset into each library's function list (so different apps
+    #: execute different-but-overlapping subsets, Table 4).
+    lib_phase: int
+    #: Times each init block's body re-executes during startup; higher
+    #: values amortize translation more (lower VM slowdown).
+    init_repeat: int
+    #: App-local startup code size in instructions (controls Table 1's
+    #: % library code: Gvim has notably more application code).
+    local_code: int
+    #: Install a signal handler and raise signals during startup
+    #: (File-Roller's emulation-bound behaviour).
+    signals: int = 0
+
+
+GUI_APPS: Dict[str, GuiAppParams] = {
+    params.name: params
+    for params in [
+        GuiAppParams(
+            "gftp", seed=31,
+            needed=COMMON_PREFIX + ("libcairo.so", "libssl.so", "libftp.so"),
+            lib_coverage=0.80, lib_phase=0, init_repeat=6, local_code=120,
+        ),
+        GuiAppParams(
+            "gvim", seed=32,
+            needed=COMMON_PREFIX + ("libvimcore.so",),
+            lib_coverage=0.75, lib_phase=3, init_repeat=14, local_code=700,
+        ),
+        GuiAppParams(
+            "dia", seed=33,
+            needed=COMMON_PREFIX + ("libcairo.so", "libxml.so", "libdiagram.so"),
+            lib_coverage=0.85, lib_phase=6, init_repeat=5, local_code=140,
+        ),
+        # File-Roller loads libarchive *before* libcairo, so its libcairo
+        # (and everything after) maps at a different base than in the other
+        # applications — inter-application reuse of those traces conflicts
+        # and falls back to retranslation (paper §4.5's "inherent
+        # limitation"), unless position-independent translations are on.
+        GuiAppParams(
+            "file-roller", seed=34,
+            needed=COMMON_PREFIX + ("libarchive.so", "libcairo.so", "libz.so"),
+            lib_coverage=0.80, lib_phase=9, init_repeat=4, local_code=110,
+            signals=40,
+        ),
+        GuiAppParams(
+            "gqview", seed=35,
+            needed=COMMON_PREFIX + ("libcairo.so", "libpng.so", "libimg.so"),
+            lib_coverage=0.82, lib_phase=12, init_repeat=8, local_code=130,
+        ),
+    ]
+}
+
+#: Functions called per init block (the blocks chunk the library surface).
+_CALLS_PER_BLOCK = 8
+
+_SIGNAL_NUMBER = 15
+
+
+def _selected_functions(spec: LibrarySpec, params: GuiAppParams) -> List[str]:
+    """The subset of ``spec``'s functions this app executes at startup."""
+    names = spec.function_names()
+    count = max(1, int(len(names) * params.lib_coverage))
+    start = params.lib_phase % len(names)
+    return [names[(start + i) % len(names)] for i in range(count)]
+
+
+def _signal_init_function(handler_symbol: str, raises: int) -> FunctionCode:
+    """Install a handler, then deliver ``raises`` signals to self."""
+    fn = FunctionCode()
+    fn.emit(ins.addi(regs.SP, regs.SP, -16))
+    fn.emit(ins.st(regs.SP, regs.LR, 0))
+    fn.emit(ins.movi(regs.A0, _SIGNAL_NUMBER))
+    # a1 = &handler; the imm carries a symbol relocation.
+    fn.symbol_refs.append((len(fn.code), handler_symbol))
+    fn.emit(ins.movi(regs.A1, 0))
+    fn.emit(ins.movi(regs.RV, SYS_SIGACTION))
+    fn.emit(ins.syscall())
+    fn.emit(ins.st(regs.SP, regs.S0, 8))
+    fn.emit(ins.movi(regs.S0, 0))
+    loop_head = len(fn.code)
+    fn.emit(ins.movi(regs.A0, _SIGNAL_NUMBER))
+    fn.emit(ins.movi(regs.RV, SYS_KILL))
+    fn.emit(ins.syscall())
+    fn.emit(ins.addi(regs.S0, regs.S0, 1))
+    fn.emit(ins.movi(regs.T0, raises))
+    here = len(fn.code)
+    fn.emit(ins.blt(regs.S0, regs.T0, (loop_head - (here + 1)) * 8))
+    fn.emit(ins.ld(regs.S0, regs.SP, 8))
+    fn.emit(ins.ld(regs.LR, regs.SP, 0))
+    fn.emit(ins.addi(regs.SP, regs.SP, 16))
+    fn.emit(ins.ret())
+    return fn
+
+
+def build_gui_app(
+    params: GuiAppParams,
+    corpus: Dict[str, LibrarySpec],
+) -> Workload:
+    """Generate one GUI application against the shared corpus."""
+    app = AppBuilder("gui/%s" % params.name, seed=params.seed, needed=params.needed)
+
+    if params.signals:
+        app.add_function("signal_handler", leaf_function(app.rng, 8))
+        app.add_custom_init(
+            "signal_init",
+            _signal_init_function("signal_handler", params.signals),
+        )
+
+    # Library startup: per dependency, chunked init blocks that call the
+    # library's init symbol and the app's selected function subset.
+    block_index = 0
+    for lib_path in params.needed:
+        spec = corpus[lib_path]
+        selected = [spec.init_symbol] + _selected_functions(spec, params)
+        for chunk_start in range(0, len(selected), _CALLS_PER_BLOCK):
+            chunk = selected[chunk_start : chunk_start + _CALLS_PER_BLOCK]
+            app.add_init_block(
+                "lib_init_%d" % block_index,
+                size=6 + len(chunk),
+                subfunctions=0,
+                library_calls=chunk,
+                repeat=params.init_repeat,
+            )
+            block_index += 1
+
+    # App-local startup code (the non-library percentage of Table 1).
+    local_blocks = max(1, params.local_code // 90)
+    for local_index in range(local_blocks):
+        app.add_init_block(
+            "local_init_%d" % local_index,
+            size=params.local_code // local_blocks,
+            subfunctions=2,
+            repeat=params.init_repeat,
+        )
+
+    # Once the interface is up, the app idles waiting for the user: a tiny
+    # hot kernel stands in for the ready event loop.
+    app.set_hot_kernel(size=16, helpers=1, helper_size=8)
+    image = app.build()
+
+    inputs = {
+        "startup": InputSpec(name="startup", features=frozenset(), hot_iterations=60)
+    }
+    return Workload(name=params.name, image=image, inputs=inputs)
+
+
+def build_gui_suite(
+    corpus: Dict[str, LibrarySpec] = None,
+) -> Tuple[Dict[str, Workload], ImageStore]:
+    """Build all five apps against one shared library store."""
+    corpus = corpus or default_gui_corpus()
+    store = build_corpus(list(corpus.values()))
+    apps = {}
+    for name, params in GUI_APPS.items():
+        workload = build_gui_app(params, corpus)
+        workload.store = store
+        apps[name] = workload
+    return apps, store
+
+
+def common_library_matrix(apps: Dict[str, Workload]) -> Dict[str, Dict[str, int]]:
+    """Table 2: number of common libraries between application pairs."""
+    matrix: Dict[str, Dict[str, int]] = {}
+    for name_a, app_a in apps.items():
+        deps_a = set(app_a.image.needed)
+        matrix[name_a] = {}
+        for name_b, app_b in apps.items():
+            deps_b = set(app_b.image.needed)
+            matrix[name_a][name_b] = len(deps_a & deps_b)
+    return matrix

@@ -1,0 +1,160 @@
+"""Regression-test driver: many short runs sharing one cache database.
+
+The paper's motivating deployment (§2.2): regression environments run
+thousands of short tests — "across many tests, the compiler performs
+identical tasks" — where per-test translation cost can never amortize
+within a test but amortizes perfectly *across* tests through the
+persistent cache, which also accumulates newly discovered code so
+"performance improves over time".
+
+:class:`RegressionDriver` executes a sequence of (workload, input) test
+cases, every case a fresh process attached to the same cache database,
+and records the per-test cost curve.  It is the orchestration layer the
+Oracle and gcc regression experiments use, and a realistic template for
+driving the system in an actual test farm.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.machine.costs import CostModel, DEFAULT_COST_MODEL
+from repro.persist.database import CacheDatabase
+from repro.persist.manager import PersistenceConfig
+from repro.vm.client import Tool
+from repro.workloads.harness import Workload, run_vm
+
+#: One test case: a workload and the input (test) to run it on.
+TestCase = Tuple[Workload, str]
+
+
+@dataclass
+class TestOutcome:
+    """Result of one test under the driver."""
+
+    index: int
+    workload: str
+    input: str
+    cycles: float
+    traces_translated: int
+    traces_reused: int
+    exit_status: int
+
+
+@dataclass
+class RegressionReport:
+    """The cost curve of a full test sequence."""
+
+    outcomes: List[TestOutcome] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(outcome.cycles for outcome in self.outcomes)
+
+    @property
+    def total_translations(self) -> int:
+        return sum(outcome.traces_translated for outcome in self.outcomes)
+
+    def cycles_by_test(self) -> List[float]:
+        return [outcome.cycles for outcome in self.outcomes]
+
+    def warmup_point(self, tolerance: float = 1.05) -> Optional[int]:
+        """Index of the first test after which no test exceeds
+        ``tolerance`` x the sequence's steady-state (minimum) cost for its
+        (workload, input) pair; None if the sequence never settles."""
+        steady = {}
+        for outcome in self.outcomes:
+            key = (outcome.workload, outcome.input)
+            steady[key] = min(steady.get(key, outcome.cycles), outcome.cycles)
+        for index in range(len(self.outcomes)):
+            tail = self.outcomes[index:]
+            if all(
+                outcome.cycles
+                <= tolerance * steady[(outcome.workload, outcome.input)]
+                for outcome in tail
+            ):
+                return index
+        return None
+
+    def improvement_over_first_pass(self) -> float:
+        """Fractional cost drop of the last occurrence of each test vs its
+        first occurrence, averaged over distinct tests."""
+        first = {}
+        last = {}
+        for outcome in self.outcomes:
+            key = (outcome.workload, outcome.input)
+            first.setdefault(key, outcome.cycles)
+            last[key] = outcome.cycles
+        if not first:
+            return 0.0
+        drops = [1 - last[key] / first[key] for key in first]
+        return sum(drops) / len(drops)
+
+
+class RegressionDriver:
+    """Runs test sequences against one shared persistent cache database."""
+
+    def __init__(
+        self,
+        database: CacheDatabase,
+        tool_factory: Optional[Callable[[], Tool]] = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        persistence_enabled: bool = True,
+    ):
+        self.database = database
+        self.tool_factory = tool_factory
+        self.cost_model = cost_model
+        self.persistence_enabled = persistence_enabled
+
+    def run_sequence(self, cases: Iterable[TestCase]) -> RegressionReport:
+        """Execute the cases in order; every case is a fresh process."""
+        report = RegressionReport()
+        for index, (workload, input_name) in enumerate(cases):
+            persistence = (
+                PersistenceConfig(database=self.database)
+                if self.persistence_enabled
+                else None
+            )
+            result = run_vm(
+                workload,
+                input_name,
+                tool=self.tool_factory() if self.tool_factory else None,
+                persistence=persistence,
+                cost_model=self.cost_model,
+            )
+            report.outcomes.append(
+                TestOutcome(
+                    index=index,
+                    workload=workload.name,
+                    input=input_name,
+                    cycles=result.stats.total_cycles,
+                    traces_translated=result.stats.traces_translated,
+                    traces_reused=result.stats.traces_from_persistent,
+                    exit_status=result.exit_status,
+                )
+            )
+        return report
+
+
+def round_robin_cases(
+    workload: Workload, input_names: Sequence[str], rounds: int
+) -> List[TestCase]:
+    """``rounds`` passes over the inputs, in order — the Oracle unit-test
+    pattern (each test is the phase sequence, repeated)."""
+    cases: List[TestCase] = []
+    for _ in range(rounds):
+        cases.extend((workload, name) for name in input_names)
+    return cases
+
+
+def interleaved_cases(
+    workloads: Sequence[Workload],
+    input_names: Sequence[str],
+    count: int,
+) -> List[TestCase]:
+    """``count`` tests cycling over (workload, input) pairs — a mixed
+    test-farm schedule."""
+    pairs = list(itertools.product(workloads, input_names))
+    return [pairs[i % len(pairs)] for i in range(count)]

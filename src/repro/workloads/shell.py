@@ -1,0 +1,108 @@
+"""Shell-utility analogs: the shortest-lived programs of the paper's intro.
+
+"Applications exhibiting cold code behavior are prevalent in everyday
+computing environments ranging from shell programs to Graphical User
+Interface (GUI) and enterprise-scale applications." (§1)
+
+A shell utility is the extreme case: a few milliseconds of real work,
+every instruction cold, invoked thousands of times a day.  Under a DBI
+engine its run is almost pure translation cost — and because utilities
+share libc, inter-application persistence means the *first* `ls` warms up
+`cat`, `cp` and the rest.
+
+The suite models six coreutils-style tools over a shared ``libc.so``
+analog: tiny app-specific logic, a libc-heavy startup, and a short
+argument-dependent work loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.loader.linker import ImageStore
+from repro.workloads.builder import AppBuilder, InputSpec
+from repro.workloads.corpus import LibrarySpec, build_corpus
+from repro.workloads.harness import Workload
+
+#: The C library every utility links against.
+SHELL_LIBC = LibrarySpec("libc.so", n_funcs=40, func_size=20, seed=101)
+
+
+@dataclass(frozen=True)
+class ShellToolParams:
+    """Generation parameters for one utility."""
+
+    name: str
+    seed: int
+    #: Fraction of libc the tool touches at startup.
+    libc_coverage: float
+    #: Offset into libc's function list (tools overlap but differ).
+    libc_phase: int
+    #: App-specific logic size, instructions.
+    local_code: int
+    #: Work-loop iterations ("bytes processed"): tiny by design.
+    work: int
+
+
+SHELL_TOOLS: Dict[str, ShellToolParams] = {
+    params.name: params
+    for params in [
+        ShellToolParams("ls", seed=71, libc_coverage=0.55, libc_phase=0,
+                        local_code=60, work=40),
+        ShellToolParams("cat", seed=72, libc_coverage=0.45, libc_phase=4,
+                        local_code=40, work=60),
+        ShellToolParams("cp", seed=73, libc_coverage=0.50, libc_phase=8,
+                        local_code=50, work=50),
+        ShellToolParams("grep", seed=74, libc_coverage=0.60, libc_phase=12,
+                        local_code=90, work=80),
+        ShellToolParams("wc", seed=75, libc_coverage=0.40, libc_phase=16,
+                        local_code=40, work=70),
+        ShellToolParams("touch", seed=76, libc_coverage=0.35, libc_phase=20,
+                        local_code=30, work=10),
+    ]
+}
+
+_CALLS_PER_BLOCK = 8
+
+
+def build_shell_tool(params: ShellToolParams) -> Workload:
+    """Generate one utility against the shared libc."""
+    app = AppBuilder(
+        "bin/%s" % params.name, seed=params.seed, needed=[SHELL_LIBC.path]
+    )
+    names = SHELL_LIBC.function_names()
+    count = max(1, int(len(names) * params.libc_coverage))
+    start = params.libc_phase % len(names)
+    selected = [SHELL_LIBC.init_symbol] + [
+        names[(start + i) % len(names)] for i in range(count)
+    ]
+    for block_index, chunk_start in enumerate(
+        range(0, len(selected), _CALLS_PER_BLOCK)
+    ):
+        chunk = selected[chunk_start : chunk_start + _CALLS_PER_BLOCK]
+        app.add_init_block(
+            "libc_init_%d" % block_index,
+            size=6 + len(chunk),
+            subfunctions=0,
+            library_calls=chunk,
+        )
+    app.add_init_block("tool_logic", size=params.local_code, subfunctions=2)
+    app.set_hot_kernel(size=12, helpers=1, helper_size=6)
+    image = app.build()
+    inputs = {
+        "run": InputSpec("run", features=frozenset(),
+                         hot_iterations=params.work),
+    }
+    return Workload(name=params.name, image=image, inputs=inputs)
+
+
+def build_shell_suite() -> Tuple[Dict[str, Workload], ImageStore]:
+    """All six utilities over one shared libc store."""
+    store = build_corpus([SHELL_LIBC])
+    tools = {}
+    for name, params in SHELL_TOOLS.items():
+        workload = build_shell_tool(params)
+        workload.store = store
+        tools[name] = workload
+    return tools, store

@@ -1,0 +1,190 @@
+"""Tests for the measurement and reporting helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.coverage import (
+    average_cross_coverage,
+    coverage_fraction,
+    coverage_matrix,
+    footprint_bytes,
+    library_coverage_fraction,
+    library_fraction,
+)
+from repro.analysis.overhead import (
+    OverheadBreakdown,
+    improvement_percent,
+    speedup,
+)
+from repro.analysis.report import format_bar_chart, format_matrix, format_table
+from repro.analysis.timeline import (
+    render_timeline,
+    startup_dominated,
+    summarize_timeline,
+)
+from repro.vm.stats import VMStats
+
+
+def ident(path, offset, size=8):
+    return (path, offset, size)
+
+
+class TestCoverage:
+    def test_footprint_bytes(self):
+        assert footprint_bytes([ident("a", 0, 16), ident("a", 16, 8)]) == 24
+        assert footprint_bytes([]) == 0
+
+    def test_coverage_fraction(self):
+        a = {ident("x", 0, 10), ident("x", 10, 10)}
+        b = {ident("x", 0, 10)}
+        assert coverage_fraction(a, b) == 0.5
+        assert coverage_fraction(b, a) == 1.0
+        assert coverage_fraction(a, a) == 1.0
+
+    def test_empty_covered_is_full(self):
+        assert coverage_fraction(set(), {ident("x", 0)}) == 1.0
+
+    def test_matrix_diagonal(self):
+        footprints = {
+            "i1": {ident("x", 0), ident("x", 8)},
+            "i2": {ident("x", 0)},
+        }
+        matrix = coverage_matrix(footprints)
+        assert matrix["i1"]["i1"] == 1.0
+        assert matrix["i2"]["i2"] == 1.0
+        assert matrix["i1"]["i2"] == 0.5
+        assert matrix["i2"]["i1"] == 1.0
+
+    def test_average_cross_coverage(self):
+        footprints = {
+            "a": {ident("x", 0)},
+            "b": {ident("x", 0)},
+        }
+        assert average_cross_coverage(footprints) == 1.0
+        footprints["c"] = {ident("y", 0)}
+        assert average_cross_coverage(footprints) < 1.0
+
+    def test_single_input(self):
+        assert average_cross_coverage({"a": {ident("x", 0)}}) == 1.0
+
+    def test_library_restriction(self):
+        a = {ident("app", 0, 10), ident("libz.so", 0, 10)}
+        b = {ident("libz.so", 0, 10)}
+        assert library_coverage_fraction(a, b) == 1.0  # lib part fully covered
+        assert coverage_fraction(a, b) == 0.5
+
+    def test_library_fraction(self):
+        identities = {ident("app", 0, 25), ident("libz.so", 0, 75)}
+        assert library_fraction(identities) == 0.75
+        assert library_fraction(set()) == 0.0
+
+    @given(
+        st.sets(
+            st.tuples(
+                st.sampled_from(["app", "libx.so"]),
+                st.integers(0, 100),
+                st.integers(8, 64),
+            ),
+            max_size=20,
+        ),
+        st.sets(
+            st.tuples(
+                st.sampled_from(["app", "libx.so"]),
+                st.integers(0, 100),
+                st.integers(8, 64),
+            ),
+            max_size=20,
+        ),
+    )
+    def test_fraction_bounds_property(self, a, b):
+        value = coverage_fraction(a, b)
+        assert 0.0 <= value <= 1.0
+        if a <= b:
+            assert value == 1.0
+
+
+class TestOverhead:
+    def test_improvement(self):
+        assert improvement_percent(100, 10) == pytest.approx(90.0)
+        assert improvement_percent(100, 100) == 0.0
+        assert improvement_percent(100, 150) == pytest.approx(-50.0)
+
+    def test_speedup(self):
+        assert speedup(400, 100) == pytest.approx(4.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            improvement_percent(0, 1)
+        with pytest.raises(ValueError):
+            speedup(1, 0)
+
+    def test_breakdown(self):
+        decomposition = OverheadBreakdown("x", 100.0, 130.0, 70.0)
+        assert decomposition.total_vm_cycles == 200.0
+        assert decomposition.vm_overhead_fraction == pytest.approx(0.35)
+        assert decomposition.to_dict()["total_vm"] == 200.0
+
+
+class TestTimeline:
+    def _stats_with_events(self, timestamps, total=1000.0):
+        stats = VMStats()
+        stats._total = total
+        stats.translation_events = [(t, 0x1000) for t in timestamps]
+        return stats
+
+    def test_startup_dominated(self):
+        stats = self._stats_with_events([1, 2, 3, 50, 900])
+        summary = summarize_timeline(stats)
+        assert summary.early_fraction == pytest.approx(4 / 5)
+        assert startup_dominated(stats)
+
+    def test_gcc_like_profile_not_startup_dominated(self):
+        stats = self._stats_with_events(list(range(0, 1000, 10)))
+        assert not startup_dominated(stats)
+        summary = summarize_timeline(stats)
+        assert summary.late_fraction > 0.4
+
+    def test_decile_counts_sum(self):
+        stats = self._stats_with_events([5, 250, 500, 750, 999])
+        summary = summarize_timeline(stats)
+        assert sum(summary.decile_counts) == 5
+
+    def test_render_width_and_marks(self):
+        stats = self._stats_with_events([0, 999])
+        row = render_timeline(stats, width=40)
+        assert len(row) == 40
+        assert row[0] == "|" and row[-1] == "|"
+        assert row.count("|") == 2
+
+    def test_empty_run(self):
+        stats = VMStats()
+        summary = summarize_timeline(stats)
+        assert summary.total_events == 0
+        assert render_timeline(stats, width=10) == " " * 10
+
+
+class TestReport:
+    def test_format_matrix(self):
+        matrix = {"a": {"a": 1.0, "b": 0.5}, "b": {"a": 0.25, "b": 1.0}}
+        text = format_matrix(matrix, order=["a", "b"], title="T")
+        assert "T" in text
+        assert "100%" in text
+        assert "50%" in text
+
+    def test_format_table(self):
+        rows = [{"name": "x", "value": 1.25}, {"name": "y", "value": 2.0}]
+        text = format_table(rows, columns=["name", "value"], title="t")
+        assert "name" in text and "1.2" in text
+
+    def test_format_table_missing_cells(self):
+        text = format_table([{"a": 1}], columns=["a", "b"])
+        assert text
+
+    def test_bar_chart(self):
+        text = format_bar_chart({"x": 10.0, "y": 5.0}, title="bars", unit="%")
+        lines = text.splitlines()
+        assert lines[0] == "bars"
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_bar_chart_empty(self):
+        assert format_bar_chart({}, title="t") == "t"

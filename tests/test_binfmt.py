@@ -1,0 +1,212 @@
+"""Tests for the SBF binary image format."""
+
+import pytest
+
+from repro.binfmt.image import Image, ImageBuilder, ImageFormatError, ImageKind
+from repro.binfmt.relocations import (
+    IMM_OFFSET,
+    Relocation,
+    RelocationError,
+    RelocationKind,
+    apply_relocation,
+    read_imm,
+    write_imm,
+)
+from repro.binfmt.sections import Section, SectionFlags, align_up
+from repro.binfmt.symbols import Symbol, SymbolBinding, SymbolKind
+from repro.isa import instructions as ins
+from repro.isa.encoding import encode, encode_all
+
+from tests.conftest import TINY_PROGRAM, image_from_asm
+
+
+class TestSections:
+    def test_align_up(self):
+        assert align_up(0) == 0
+        assert align_up(1) == 64
+        assert align_up(64) == 64
+        assert align_up(65) == 128
+        assert align_up(100, 16) == 112
+
+    def test_align_up_rejects_bad_alignment(self):
+        with pytest.raises(ValueError):
+            align_up(5, 0)
+
+    def test_contains(self):
+        section = Section(".text", bytearray(32), vaddr=64)
+        assert section.contains(64)
+        assert section.contains(95)
+        assert not section.contains(96)
+        assert not section.contains(63)
+
+    def test_flags(self):
+        text = Section(".text", flags=SectionFlags.READ | SectionFlags.EXEC)
+        data = Section(".data", flags=SectionFlags.READ | SectionFlags.WRITE)
+        assert text.is_executable and not text.is_writable
+        assert data.is_writable and not data.is_executable
+
+
+class TestBuilder:
+    def test_function_addresses_sequential(self):
+        builder = ImageBuilder("x")
+        a = builder.add_function("a", [ins.ret()])
+        b = builder.add_function("b", [ins.nop(), ins.ret()])
+        assert a == 0
+        assert b == 8
+
+    def test_data_after_text(self):
+        builder = ImageBuilder("x")
+        builder.add_function("f", [ins.ret()])
+        builder.add_data("blob", b"\x01\x02\x03")
+        image = builder.build()
+        data = image.section(".data")
+        text = image.section(".text")
+        assert data.vaddr >= align_up(text.end)
+        sym = image.find_symbol("blob")
+        assert sym.kind == SymbolKind.OBJECT
+        assert sym.vaddr == data.vaddr
+
+    def test_entry_symbol(self):
+        builder = ImageBuilder("x")
+        builder.add_function("pre", [ins.nop(), ins.ret()])
+        builder.add_function("go", [ins.ret()])
+        builder.set_entry("go")
+        assert builder.build().entry == 16
+
+    def test_missing_entry_symbol(self):
+        builder = ImageBuilder("x")
+        builder.add_function("f", [ins.ret()])
+        builder.set_entry("nope")
+        with pytest.raises(ImageFormatError):
+            builder.build()
+
+    def test_builder_single_use(self):
+        builder = ImageBuilder("x")
+        builder.add_function("f", [ins.ret()])
+        builder.build()
+        with pytest.raises(RuntimeError):
+            builder.build()
+        with pytest.raises(RuntimeError):
+            builder.add_function("g", [ins.ret()])
+
+    def test_symbol_refs_recorded(self):
+        builder = ImageBuilder("x")
+        builder.add_function("f", [ins.call(0), ins.ret()], symbol_refs=[(0, "g")])
+        image = builder.build()
+        assert len(image.relocations) == 1
+        reloc = image.relocations[0]
+        assert reloc.kind == RelocationKind.SYMBOL and reloc.symbol == "g"
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        image = image_from_asm(TINY_PROGRAM)
+        clone = Image.from_bytes(image.to_bytes())
+        assert clone.path == image.path
+        assert clone.entry == image.entry
+        assert clone.section(".text").data == image.section(".text").data
+        assert clone.symbols == image.symbols
+        assert clone.relocations == image.relocations
+        assert clone.needed == image.needed
+        assert clone.mtime == image.mtime
+
+    def test_checksum_detects_corruption(self):
+        blob = bytearray(image_from_asm(TINY_PROGRAM).to_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        with pytest.raises(ImageFormatError):
+            Image.from_bytes(bytes(blob))
+
+    def test_bad_magic(self):
+        with pytest.raises(ImageFormatError):
+            Image.from_bytes(b"NOPE" + b"\x00" * 64)
+
+    def test_save_load(self, tmp_path):
+        image = image_from_asm(TINY_PROGRAM)
+        path = str(tmp_path / "app.sbf")
+        image.save(path)
+        assert Image.load(path).content_digest() == image.content_digest()
+
+
+class TestDigests:
+    def test_header_digest_stable(self):
+        a = image_from_asm(TINY_PROGRAM)
+        b = image_from_asm(TINY_PROGRAM)
+        assert a.header_digest() == b.header_digest()
+
+    def test_content_digest_sensitive_to_code(self):
+        a = image_from_asm(TINY_PROGRAM)
+        b = image_from_asm(TINY_PROGRAM.replace("movi a0, 7", "movi a0, 8"))
+        assert a.content_digest() != b.content_digest()
+
+    def test_header_digest_sensitive_to_structure(self):
+        a = image_from_asm(TINY_PROGRAM, path="one")
+        b = image_from_asm(TINY_PROGRAM, path="two")
+        assert a.header_digest() != b.header_digest()
+
+
+class TestImageLookups:
+    def test_section_missing(self):
+        image = image_from_asm(TINY_PROGRAM)
+        with pytest.raises(KeyError):
+            image.section(".bss")
+        assert image.has_section(".text")
+
+    def test_find_symbol(self):
+        image = image_from_asm(TINY_PROGRAM)
+        assert image.find_symbol("main") is not None
+        assert image.find_symbol("nonexistent") is None
+
+    def test_global_symbols_filtering(self):
+        image = image_from_asm(TINY_PROGRAM, exports=["main"])
+        names = set(image.global_symbols())
+        assert names == {"main"}
+
+    def test_size_is_aligned(self):
+        image = image_from_asm(TINY_PROGRAM)
+        assert image.size % 64 == 0
+        assert image.size >= image.section(".text").end
+
+
+class TestRelocationPrimitives:
+    def test_read_write_imm(self):
+        data = bytearray(encode(ins.jmp(0x1234)))
+        assert read_imm(data, 0) == 0x1234
+        write_imm(data, 0, 0x5678)
+        assert read_imm(data, 0) == 0x5678
+
+    def test_relative(self):
+        data = bytearray(encode(ins.jmp(0x10)))
+        reloc = Relocation(".text", 0, RelocationKind.RELATIVE)
+        apply_relocation(reloc, data, 0x400000, lambda name: 0)
+        assert read_imm(data, 0) == 0x400010
+
+    def test_symbol(self):
+        data = bytearray(encode(ins.call(0)))
+        reloc = Relocation(".text", 0, RelocationKind.SYMBOL, symbol="f")
+        apply_relocation(reloc, data, 0, {"f": 0x9000}.__getitem__)
+        assert read_imm(data, 0) == 0x9000
+
+    def test_symbol_with_addend(self):
+        data = bytearray(encode(ins.call(0)))
+        reloc = Relocation(".text", 0, RelocationKind.SYMBOL, symbol="f", addend=8)
+        apply_relocation(reloc, data, 0, {"f": 0x9000}.__getitem__)
+        assert read_imm(data, 0) == 0x9008
+
+    def test_undefined_symbol(self):
+        data = bytearray(encode(ins.call(0)))
+        reloc = Relocation(".text", 0, RelocationKind.SYMBOL, symbol="missing")
+        with pytest.raises(RelocationError):
+            apply_relocation(reloc, data, 0, {}.__getitem__)
+
+    def test_out_of_bounds(self):
+        reloc = Relocation(".text", 64, RelocationKind.RELATIVE)
+        with pytest.raises(RelocationError):
+            apply_relocation(reloc, bytearray(8), 0, lambda n: 0)
+
+    def test_unaligned_offset_rejected(self):
+        with pytest.raises(ValueError):
+            Relocation(".text", 3, RelocationKind.RELATIVE)
+
+    def test_symbol_kind_requires_name(self):
+        with pytest.raises(ValueError):
+            Relocation(".text", 0, RelocationKind.SYMBOL)

@@ -1,0 +1,105 @@
+"""Stateful property testing of the code cache (hypothesis RuleBasedStateMachine).
+
+Random interleavings of insert / evict / evict_range / flush must preserve
+the cache's structural invariants:
+
+* occupancy equals the sum of resident trace sizes, never exceeds capacity;
+* every linked exit points at a *resident* trace entry;
+* the translation map answers exactly the resident entries;
+* eviction unlinks every incoming pointer to the victim.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.vm.codecache import CacheFull, CodeCache
+
+from tests.test_vm_codecache import translated_at
+
+_ENTRIES = [0x1000 + i * 0x100 for i in range(24)]
+
+
+class CodeCacheMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cache = CodeCache(code_capacity=4096, data_capacity=16384)
+        self.resident = {}
+
+    @rule(
+        entry=st.sampled_from(_ENTRIES),
+        link_target=st.one_of(st.none(), st.sampled_from(_ENTRIES)),
+        n=st.integers(2, 8),
+    )
+    def insert(self, entry, link_target, n):
+        if entry in self.resident:
+            return
+        translated = translated_at(entry, target=link_target, n=n)
+        try:
+            self.cache.insert(translated)
+        except CacheFull:
+            return
+        self.resident[entry] = translated
+
+    @precondition(lambda self: self.resident)
+    @rule(data=st.data())
+    def evict(self, data):
+        entry = data.draw(st.sampled_from(sorted(self.resident)))
+        self.cache.evict(entry)
+        del self.resident[entry]
+
+    @rule(
+        start=st.sampled_from(_ENTRIES),
+        span=st.integers(0x80, 0x600),
+    )
+    def evict_range(self, start, span):
+        evicted = self.cache.evict_range(start, start + span)
+        for translated in evicted:
+            del self.resident[translated.entry]
+
+    @rule()
+    def flush(self):
+        self.cache.flush()
+        self.resident.clear()
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def occupancy_matches_contents(self):
+        code = sum(t.code_size for t in self.resident.values())
+        data = sum(t.data_size for t in self.resident.values())
+        assert self.cache.occupancy() == (code, data)
+        assert code <= self.cache.code_capacity
+        assert data <= self.cache.data_capacity
+
+    @invariant()
+    def map_answers_exactly_residents(self):
+        assert len(self.cache) == len(self.resident)
+        for entry, translated in self.resident.items():
+            assert self.cache.lookup(entry) is translated
+        for entry in _ENTRIES:
+            if entry not in self.resident:
+                assert self.cache.lookup(entry) is None
+
+    @invariant()
+    def links_point_at_residents(self):
+        for translated in self.resident.values():
+            for slot in translated.links:
+                if slot.is_linked:
+                    assert slot.linked_entry in self.resident
+
+    @invariant()
+    def resident_exits_to_resident_targets_are_linked(self):
+        """Eager linking: a linkable exit whose target is resident must be
+        linked (insert patches both directions)."""
+        for translated in self.resident.values():
+            for slot in translated.links:
+                if slot.is_linkable and slot.exit.target in self.resident:
+                    assert slot.is_linked
+
+
+TestCodeCacheStateful = CodeCacheMachine.TestCase

@@ -1,0 +1,73 @@
+"""Tests for the workload harness and codecache range eviction."""
+
+import pytest
+
+from repro.isa import instructions as ins
+from repro.machine.costs import DEFAULT_COST_MODEL
+from repro.vm.codecache import CodeCache
+from repro.workloads.harness import run_native, run_vm
+
+from tests.test_persist_manager import mini_workload
+from tests.test_vm_codecache import translated_at
+
+
+class TestHarness:
+    def test_run_native_matches_run_vm(self):
+        workload = mini_workload()
+        native = run_native(workload, "ab")
+        vm = run_vm(workload, "ab")
+        assert native.exit_status == vm.exit_status
+        assert native.instructions == vm.instructions
+
+    def test_cost_model_override(self):
+        workload = mini_workload()
+        expensive = DEFAULT_COST_MODEL.with_overrides(
+            trace_compile_per_inst=1000.0
+        )
+        cheap = run_vm(workload, "a")
+        costly = run_vm(workload, "a", cost_model=expensive)
+        assert costly.stats.translation_cycles > cheap.stats.translation_cycles
+        assert costly.instructions == cheap.instructions
+
+    def test_each_run_is_a_fresh_process(self):
+        workload = mini_workload()
+        first = run_vm(workload, "a")
+        second = run_vm(workload, "a")
+        # Deterministic: identical stats, independent state.
+        assert first.stats.total_cycles == second.stats.total_cycles
+        assert first.output == second.output
+
+    def test_unknown_input_raises(self):
+        workload = mini_workload()
+        with pytest.raises(KeyError):
+            run_vm(workload, "nonexistent")
+
+
+class TestEvictRange:
+    def test_evicts_overlapping_only(self):
+        cache = CodeCache()
+        inside = translated_at(0x1000, n=4)
+        straddling = translated_at(0x11F0, n=4)  # crosses 0x1200
+        outside = translated_at(0x2000, n=4)
+        for translated in (inside, straddling, outside):
+            cache.insert(translated)
+        evicted = cache.evict_range(0x1000, 0x1200)
+        assert len(evicted) == 2
+        assert cache.lookup(0x1000) is None
+        assert cache.lookup(0x11F0) is None
+        assert cache.lookup(0x2000) is not None
+
+    def test_empty_range(self):
+        cache = CodeCache()
+        cache.insert(translated_at(0x1000))
+        assert cache.evict_range(0x5000, 0x5200) == []
+        assert len(cache) == 1
+
+    def test_unlinks_pointers_into_range(self):
+        cache = CodeCache()
+        jumper = translated_at(0x3000, target=0x1000)
+        cache.insert(jumper)
+        cache.insert(translated_at(0x1000))
+        assert jumper.final_slot.is_linked
+        cache.evict_range(0x0F00, 0x1100)
+        assert not jumper.final_slot.is_linked

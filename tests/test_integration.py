@@ -1,0 +1,167 @@
+"""Integration tests: the paper's headline behaviours at test scale.
+
+The full-scale regenerations live in benchmarks/; these tests pin the
+qualitative claims on the cheapest configurations so a plain ``pytest
+tests/`` already verifies the reproduction's shape.
+"""
+
+import pytest
+
+from repro.analysis.overhead import improvement_percent
+from repro.persist.database import CacheDatabase
+from repro.persist.manager import PersistenceConfig
+from repro.tools import MemTraceTool
+from repro.workloads.gui import build_gui_suite
+from repro.workloads.harness import run_native, run_vm
+from repro.workloads.oracle import PHASES, build_oracle
+from repro.workloads.spec2k import build_suite
+
+
+@pytest.fixture(scope="module")
+def gui():
+    apps, _store = build_gui_suite()
+    return apps
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return build_oracle()
+
+
+class TestGuiHeadlines:
+    def test_startup_slowdown_band(self, gui):
+        """Figure 2(b): GUI startup 15-100x slower under the VM."""
+        for name, app in gui.items():
+            native = run_native(app, "startup")
+            vm = run_vm(app, "startup")
+            slowdown = vm.stats.total_cycles / native.cycles
+            assert 10 < slowdown < 120, (name, slowdown)
+
+    def test_same_input_persistence_near_90_percent(self, gui, tmp_path):
+        """§4.2: inter-execution persistence improves GUI startup ~90%."""
+        improvements = []
+        for name, app in gui.items():
+            db = CacheDatabase(str(tmp_path / name))
+            cold = run_vm(app, "startup")
+            run_vm(app, "startup", persistence=PersistenceConfig(database=db))
+            warm = run_vm(app, "startup", persistence=PersistenceConfig(database=db))
+            assert warm.stats.traces_translated == 0
+            improvements.append(
+                improvement_percent(cold.stats.total_cycles, warm.stats.total_cycles)
+            )
+        average = sum(improvements) / len(improvements)
+        assert 80 < average < 98
+
+    def test_inter_application_persistence(self, gui, tmp_path):
+        """§4.5: another app's cache still improves startup substantially,
+        but less than same-input persistence."""
+        db = CacheDatabase(str(tmp_path / "donor"))
+        run_vm(gui["gftp"], "startup", persistence=PersistenceConfig(database=db))
+        cold = run_vm(gui["gqview"], "startup")
+        cross = run_vm(
+            gui["gqview"], "startup",
+            persistence=PersistenceConfig(
+                database=db, inter_application=True, readonly=True
+            ),
+        )
+        gain = improvement_percent(cold.stats.total_cycles, cross.stats.total_cycles)
+        assert 25 < gain < 85
+        assert cross.stats.traces_from_persistent > 0
+        assert cross.stats.traces_translated > 0  # own code retranslated
+
+
+class TestOracleHeadlines:
+    def test_unit_test_speedup(self, oracle, tmp_path):
+        """§4.2: persistence gives a large speedup on the phase sequence."""
+        db = CacheDatabase(str(tmp_path / "oracle"))
+        cold_total = 0.0
+        for phase in PHASES:
+            cold_total += run_vm(
+                oracle, phase, persistence=PersistenceConfig(database=db)
+            ).stats.total_cycles
+        warm_total = 0.0
+        for phase in PHASES:
+            result = run_vm(
+                oracle, phase, persistence=PersistenceConfig(database=db)
+            )
+            assert result.stats.traces_translated == 0
+            warm_total += result.stats.total_cycles
+        assert improvement_percent(cold_total, warm_total) > 40
+
+    def test_memtrace_instrumented_speedup(self, oracle, tmp_path):
+        """§4.2: memory-reference instrumentation amplifies the benefit
+        (paper: ~4x on Oracle)."""
+        db = CacheDatabase(str(tmp_path / "oracle-mem"))
+        cold = run_vm(
+            oracle, "Work", tool=MemTraceTool(),
+            persistence=PersistenceConfig(database=db),
+        )
+        warm = run_vm(
+            oracle, "Work", tool=MemTraceTool(),
+            persistence=PersistenceConfig(database=db),
+        )
+        assert warm.stats.traces_translated == 0
+        speedup = cold.stats.total_cycles / warm.stats.total_cycles
+        assert speedup > 1.5
+        # Analysis still runs from the persisted, instrumented traces.
+        assert warm.stats.analysis_calls > 0
+
+    def test_cross_phase_reuse_ordering(self, oracle, tmp_path):
+        """Using Open's cache helps Close more than Start's cache does
+        (Table 3(b): Open covers 91% of Close, Start only 29%)."""
+        db_start = CacheDatabase(str(tmp_path / "start"))
+        db_open = CacheDatabase(str(tmp_path / "open"))
+        run_vm(oracle, "Start", persistence=PersistenceConfig(database=db_start))
+        run_vm(oracle, "Open", persistence=PersistenceConfig(database=db_open))
+        via_start = run_vm(
+            oracle, "Close",
+            persistence=PersistenceConfig(database=db_start, readonly=True),
+        )
+        via_open = run_vm(
+            oracle, "Close",
+            persistence=PersistenceConfig(database=db_open, readonly=True),
+        )
+        assert via_open.stats.total_cycles < via_start.stats.total_cycles
+
+
+class TestSpecHeadlines:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        return build_suite(("164.gzip", "176.gcc"))
+
+    def test_gcc_dominated_by_vm_overhead(self, pair):
+        """Figure 2(a)/§4.3: gcc spends a large share of its time in the
+        VM; gzip does not."""
+        gcc = run_vm(pair["176.gcc"], "ref-1")
+        gzip = run_vm(pair["164.gzip"], "ref-1")
+        assert gcc.stats.overhead_fraction() > 0.25
+        assert gzip.stats.overhead_fraction() < 0.15
+
+    def test_train_benefits_exceed_ref(self, pair, tmp_path):
+        """Figure 5(a): Train inputs benefit more than Reference inputs."""
+        wl = pair["164.gzip"]
+        gains = {}
+        for input_name in ("ref-1", "train"):
+            db = CacheDatabase(str(tmp_path / input_name))
+            cold = run_vm(wl, input_name,
+                          persistence=PersistenceConfig(database=db))
+            warm = run_vm(wl, input_name,
+                          persistence=PersistenceConfig(database=db))
+            gains[input_name] = improvement_percent(
+                cold.stats.total_cycles, warm.stats.total_cycles
+            )
+        assert gains["train"] > gains["ref-1"] > 0
+
+    def test_persistence_never_hurts(self, pair, tmp_path):
+        """§4.3/§6: 'a persistent cache does not degrade performance when
+        it is ineffective' — even a cold-miss run stays within a small
+        bound of the no-persistence run."""
+        wl = pair["164.gzip"]
+        db = CacheDatabase(str(tmp_path / "nohurt"))
+        plain = run_vm(wl, "ref-1")
+        with_miss = run_vm(wl, "ref-1",
+                           persistence=PersistenceConfig(database=db))
+        overhead = (
+            with_miss.stats.total_cycles / plain.stats.total_cycles - 1.0
+        )
+        assert overhead < 0.05  # the write-back is the only extra cost

@@ -1,0 +1,182 @@
+"""Tests for the assembler and disassembler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import instructions as ins
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.disassembler import disassemble, format_instruction
+from repro.isa.encoding import encode_all
+from repro.isa.instructions import IMM_MAX, IMM_MIN, INSTRUCTION_SIZE, Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import parse_register, register_name
+
+
+class TestAssembleBasics:
+    def test_three_reg(self):
+        unit = assemble("add r1, r2, r3")
+        assert unit.code == [ins.add(1, 2, 3)]
+
+    def test_abi_aliases(self):
+        unit = assemble("add rv, sp, lr")
+        inst = unit.code[0]
+        assert (inst.rd, inst.rs1, inst.rs2) == (1, 28, 30)
+
+    def test_immediates(self):
+        unit = assemble("addi t0, t0, -42\nmovi a0, 0x1000")
+        assert unit.code[0].imm == -42
+        assert unit.code[1].imm == 0x1000
+
+    def test_memory_operands(self):
+        unit = assemble("ld t1, 8(sp)\nst t1, -16(fp)")
+        load, store = unit.code
+        assert load.opcode == Opcode.LD and load.imm == 8
+        assert store.opcode == Opcode.ST and store.imm == -16
+
+    def test_no_operand_forms(self):
+        unit = assemble("nop\nret\nsyscall\nhalt")
+        assert [inst.opcode for inst in unit.code] == [
+            Opcode.NOP, Opcode.RET, Opcode.SYSCALL, Opcode.HALT,
+        ]
+
+    def test_comments_and_blanks(self):
+        unit = assemble("""
+        ; full line comment
+        nop  # trailing comment
+        """)
+        assert len(unit.code) == 1
+
+
+class TestLabels:
+    def test_backward_branch(self):
+        unit = assemble("""
+        loop:
+            addi t0, t0, -1
+            bne t0, zero, loop
+        """)
+        # branch at index 1; target offset = 0 - 16 = -16
+        assert unit.code[1].imm == -16
+
+    def test_forward_branch(self):
+        unit = assemble("""
+            beq t0, zero, done
+            nop
+        done:
+            ret
+        """)
+        assert unit.code[0].imm == 8  # skip one instruction
+
+    def test_label_offsets_recorded(self):
+        unit = assemble("a:\nnop\nb:\nnop")
+        assert unit.labels == {"a": 0, "b": INSTRUCTION_SIZE}
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("x:\nnop\nx:\nnop")
+
+    def test_label_on_same_line(self):
+        unit = assemble("start: nop")
+        assert unit.labels["start"] == 0
+        assert unit.code == [ins.nop()]
+
+
+class TestRelocations:
+    def test_local_call_records_relocation(self):
+        unit = assemble("call f\nf:\nret")
+        assert unit.relocations == [(0, "f")]
+        assert unit.code[0].imm == INSTRUCTION_SIZE  # unit-relative
+
+    def test_external_call(self):
+        unit = assemble("call external_fn")
+        assert unit.relocations == [(0, "external_fn")]
+        assert unit.code[0].imm == 0
+
+    def test_numeric_jmp_no_relocation(self):
+        unit = assemble("jmp 0x400000")
+        assert unit.relocations == []
+        assert unit.code[0].imm == 0x400000
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "frobnicate r1",
+            "add r1, r2",
+            "addi r1, r2, banana",
+            "ld r1, r2",
+            "add r99, r1, r2",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(AssemblyError):
+            assemble(bad)
+
+    def test_error_carries_line_number(self):
+        try:
+            assemble("nop\nbogus r1")
+        except AssemblyError as exc:
+            assert exc.line_number == 2
+        else:
+            pytest.fail("expected AssemblyError")
+
+
+class TestDisassembler:
+    def test_format_all_shapes(self):
+        samples = [
+            ins.add(1, 2, 3), ins.addi(1, 2, -3), ins.movi(4, 9),
+            ins.lui(4, 9), ins.ld(1, 28, 8), ins.st(28, 1, 8),
+            ins.beq(1, 2, -8), ins.jmp(0x40), ins.call(0x40),
+            ins.jr(5), ins.callr(5), ins.ret(), ins.syscall(),
+            ins.halt(), ins.nop(),
+        ]
+        for inst in samples:
+            text = format_instruction(inst)
+            assert text and "%" not in text
+
+    def test_disassemble_addresses(self):
+        lines = disassemble(encode_all([ins.nop(), ins.ret()]), base=0x100)
+        assert lines[0].startswith("0x00000100:")
+        assert lines[1].startswith("0x00000108:")
+
+    def test_roundtrip_through_assembler(self):
+        source = [ins.add(1, 2, 3), ins.ld(4, 28, 16), ins.bne(1, 2, -8),
+                  ins.jmp(0x400), ins.ret()]
+        text = "\n".join(format_instruction(inst) for inst in source)
+        assert assemble(text).code == source
+
+
+@given(
+    st.lists(
+        st.sampled_from(
+            [ins.add(1, 2, 3), ins.addi(5, 5, 7), ins.movi(6, -4),
+             ins.ld(1, 28, 8), ins.st(28, 2, 0), ins.slt(3, 1, 2),
+             ins.beq(1, 2, 16), ins.jr(5), ins.ret(), ins.nop()]
+        ),
+        max_size=30,
+    )
+)
+def test_disassemble_reassemble_property(program):
+    """Disassembly of any register-addressed program reassembles exactly."""
+    text = "\n".join(format_instruction(inst) for inst in program)
+    assert assemble(text).code == program
+
+
+class TestRegisters:
+    def test_names_roundtrip(self):
+        for reg in range(32):
+            assert parse_register(register_name(reg)) == reg
+
+    def test_rn_forms(self):
+        assert parse_register("r0") == 0
+        assert parse_register("R31") == 31
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            parse_register("r32")
+        with pytest.raises(ValueError):
+            parse_register("bogus")
+
+    def test_name_out_of_range(self):
+        with pytest.raises(ValueError):
+            register_name(32)

@@ -1,0 +1,92 @@
+"""Unit + property tests for the binary instruction encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import instructions as ins
+from repro.isa.encoding import (
+    DecodeError,
+    decode,
+    decode_all,
+    encode,
+    encode_all,
+)
+from repro.isa.instructions import IMM_MAX, IMM_MIN, INSTRUCTION_SIZE, Instruction
+from repro.isa.opcodes import Opcode
+
+_OPCODES = list(Opcode)
+
+instruction_strategy = st.builds(
+    Instruction,
+    opcode=st.sampled_from(_OPCODES),
+    rd=st.integers(0, 31),
+    rs1=st.integers(0, 31),
+    rs2=st.integers(0, 31),
+    imm=st.integers(IMM_MIN, IMM_MAX),
+)
+
+
+class TestEncode:
+    def test_fixed_width(self):
+        assert len(encode(ins.nop())) == INSTRUCTION_SIZE
+        assert len(encode(ins.movi(5, -123456))) == INSTRUCTION_SIZE
+
+    def test_layout(self):
+        raw = encode(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3, imm=0))
+        assert raw[0] == int(Opcode.ADD)
+        assert raw[1:4] == bytes([1, 2, 3])
+
+    def test_encode_all_concatenates(self):
+        code = encode_all([ins.nop(), ins.ret()])
+        assert len(code) == 2 * INSTRUCTION_SIZE
+
+
+class TestDecode:
+    def test_roundtrip_simple(self):
+        inst = ins.addi(3, 4, -77)
+        assert decode(encode(inst)) == inst
+
+    def test_offset(self):
+        blob = encode(ins.nop()) + encode(ins.ret())
+        assert decode(blob, INSTRUCTION_SIZE) == ins.ret()
+
+    def test_truncated(self):
+        with pytest.raises(DecodeError):
+            decode(b"\x01\x02\x03")
+
+    def test_illegal_opcode(self):
+        raw = bytearray(encode(ins.nop()))
+        raw[0] = 0xEE
+        with pytest.raises(DecodeError):
+            decode(bytes(raw))
+
+    def test_illegal_register(self):
+        raw = bytearray(encode(ins.nop()))
+        raw[1] = 200
+        with pytest.raises(DecodeError):
+            decode(bytes(raw))
+
+    def test_decode_all_alignment(self):
+        with pytest.raises(DecodeError):
+            decode_all(b"\x00" * (INSTRUCTION_SIZE + 1))
+
+    def test_decode_all_roundtrip(self):
+        program = [ins.movi(1, 1), ins.add(1, 1, 1), ins.halt()]
+        assert decode_all(encode_all(program)) == program
+
+
+class TestEncodingProperties:
+    @given(instruction_strategy)
+    def test_roundtrip(self, inst):
+        assert decode(encode(inst)) == inst
+
+    @given(st.lists(instruction_strategy, max_size=40))
+    def test_roundtrip_sequences(self, program):
+        blob = encode_all(program)
+        assert len(blob) == INSTRUCTION_SIZE * len(program)
+        assert decode_all(blob) == program
+
+    @given(instruction_strategy, instruction_strategy)
+    def test_injective(self, a, b):
+        if a != b:
+            assert encode(a) != encode(b)

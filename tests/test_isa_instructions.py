@@ -1,0 +1,137 @@
+"""Unit tests for instruction construction and classification."""
+
+import pytest
+
+from repro.isa import instructions as ins
+from repro.isa import registers as regs
+from repro.isa.instructions import IMM_MAX, IMM_MIN, INSTRUCTION_SIZE, Instruction
+from repro.isa.opcodes import Opcode
+
+
+class TestConstruction:
+    def test_defaults(self):
+        inst = Instruction(Opcode.NOP)
+        assert (inst.rd, inst.rs1, inst.rs2, inst.imm) == (0, 0, 0, 0)
+
+    def test_register_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, rd=32)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, rs1=-1)
+
+    def test_immediate_bounds(self):
+        Instruction(Opcode.MOVI, rd=1, imm=IMM_MAX)
+        Instruction(Opcode.MOVI, rd=1, imm=IMM_MIN)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.MOVI, rd=1, imm=IMM_MAX + 1)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.MOVI, rd=1, imm=IMM_MIN - 1)
+
+    def test_frozen(self):
+        inst = ins.nop()
+        with pytest.raises(Exception):
+            inst.imm = 5
+
+    def test_as_tuple(self):
+        inst = ins.addi(3, 4, -7)
+        assert inst.as_tuple() == (int(Opcode.ADDI), 3, 4, 0, -7)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "inst", [ins.beq(1, 2, 8), ins.bne(1, 2, 8), ins.blt(1, 2, 8), ins.bge(1, 2, 8)]
+    )
+    def test_conditional_branches(self, inst):
+        assert inst.is_conditional_branch
+        assert inst.is_control_flow
+        assert not inst.is_unconditional
+
+    @pytest.mark.parametrize(
+        "inst",
+        [ins.jmp(0x100), ins.call(0x100), ins.jr(5), ins.callr(5), ins.ret(),
+         ins.syscall(), ins.halt()],
+    )
+    def test_unconditional(self, inst):
+        assert inst.is_unconditional
+        assert inst.is_control_flow
+
+    def test_indirect(self):
+        assert ins.jr(5).is_indirect
+        assert ins.callr(5).is_indirect
+        assert ins.ret().is_indirect
+        assert not ins.jmp(0).is_indirect
+
+    def test_calls(self):
+        assert ins.call(0).is_call
+        assert ins.callr(5).is_call
+        assert not ins.jmp(0).is_call
+
+    def test_memory(self):
+        assert ins.ld(1, 2, 0).is_memory
+        assert ins.st(1, 2, 0).is_memory
+        assert not ins.add(1, 2, 3).is_memory
+
+    @pytest.mark.parametrize(
+        "inst", [ins.add(1, 2, 3), ins.movi(1, 5), ins.ld(1, 2, 0), ins.nop()]
+    )
+    def test_straightline(self, inst):
+        assert not inst.is_control_flow
+
+
+class TestBranchTarget:
+    def test_conditional_is_pc_relative(self):
+        inst = ins.bne(1, 2, 16)
+        assert inst.branch_target(0x100) == 0x100 + INSTRUCTION_SIZE + 16
+
+    def test_backward_branch(self):
+        inst = ins.bne(1, 2, -24)
+        assert inst.branch_target(0x100) == 0x100 + 8 - 24
+
+    def test_direct_is_absolute(self):
+        assert ins.jmp(0x4000).branch_target(0x100) == 0x4000
+        assert ins.call(0x4000).branch_target(0x999) == 0x4000
+
+    @pytest.mark.parametrize("inst", [ins.jr(5), ins.ret(), ins.add(1, 2, 3)])
+    def test_no_static_target(self, inst):
+        with pytest.raises(ValueError):
+            inst.branch_target(0)
+
+
+class TestRegisterSets:
+    def test_alu_reads_and_writes(self):
+        inst = ins.add(3, 4, 5)
+        assert inst.registers_read() == frozenset({4, 5})
+        assert inst.registers_written() == frozenset({3})
+
+    def test_zero_register_excluded(self):
+        inst = ins.add(regs.ZERO, regs.ZERO, 5)
+        assert inst.registers_written() == frozenset()
+        assert inst.registers_read() == frozenset({5})
+
+    def test_store_reads_both(self):
+        inst = ins.st(2, 3, 8)
+        assert inst.registers_read() == frozenset({2, 3})
+        assert inst.registers_written() == frozenset()
+
+    def test_load(self):
+        inst = ins.ld(7, 2, 8)
+        assert inst.registers_read() == frozenset({2})
+        assert inst.registers_written() == frozenset({7})
+
+    def test_call_writes_lr(self):
+        assert regs.LR in ins.call(0).registers_written()
+        assert regs.LR in ins.callr(5).registers_written()
+
+    def test_ret_reads_lr(self):
+        assert regs.LR in ins.ret().registers_read()
+
+    def test_syscall_reads_args_writes_rv(self):
+        sc = ins.syscall()
+        assert regs.RV in sc.registers_read()
+        assert regs.A0 in sc.registers_read()
+        assert sc.registers_written() == frozenset({regs.RV})
+
+    def test_branch_reads_operands(self):
+        inst = ins.blt(6, 7, 8)
+        assert inst.registers_read() == frozenset({6, 7})
+        assert inst.registers_written() == frozenset()

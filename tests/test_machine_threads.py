@@ -1,0 +1,184 @@
+"""Tests for multi-threaded execution (paper: the persistent system
+supports single-threaded, multi-threaded, and multi-process applications).
+
+Threads are cooperatively scheduled at yield/exit system calls, so
+interleaving is deterministic and identical between native and VM
+execution — which the equivalence tests here rely on.
+"""
+
+import pytest
+
+from repro.binfmt.image import ImageBuilder
+from repro.isa.assembler import assemble
+from repro.loader.linker import load_process
+from repro.machine.cpu import (
+    Machine,
+    THREAD_EXIT_STUB,
+    run_native,
+)
+from repro.persist.database import CacheDatabase
+from repro.persist.manager import PersistenceConfig, PersistentCacheSession
+from repro.vm.engine import Engine
+
+
+def build_mt_image(source: str, data=("counter", 8)):
+    unit = assemble(source)
+    builder = ImageBuilder("mt-app")
+    builder.add_unit(unit, exports=["main"])
+    if data:
+        builder.add_data(data[0], b"\x00" * data[1])
+    builder.set_entry("main")
+    return builder.build()
+
+
+TWO_WORKERS = """
+main:
+    movi a0, worker
+    movi a1, 5
+    movi rv, 9            ; SYS_THREAD_CREATE
+    syscall
+    movi a0, worker
+    movi a1, 7
+    movi rv, 9
+    syscall
+    movi rv, 10           ; SYS_YIELD (let both workers run)
+    syscall
+    movi rv, 10
+    syscall
+    movi t0, counter
+    ld   a0, 0(t0)
+    movi rv, 1            ; SYS_EXIT: last thread ends the process
+    syscall
+worker:
+    movi t1, counter
+    ld   t2, 0(t1)
+    add  t2, t2, a0
+    st   t2, 0(t1)
+    movi rv, 10           ; yield mid-work
+    syscall
+    movi rv, 1            ; thread exit
+    movi a0, 0
+    syscall
+"""
+
+RETURNING_WORKER = """
+main:
+    movi a0, worker
+    movi a1, 3
+    movi rv, 9
+    syscall
+    movi rv, 10
+    syscall
+    movi rv, 1
+    movi a0, 42
+    syscall
+worker:
+    add  t1, a0, a0
+    ret                   ; returns into the thread-exit shim
+"""
+
+GETTID_PROGRAM = """
+main:
+    movi rv, 11           ; SYS_GETTID
+    syscall
+    or   a0, rv, zero
+    movi rv, 1
+    syscall
+"""
+
+
+class TestThreadSemantics:
+    def test_shared_memory_and_scheduling(self):
+        image = build_mt_image(TWO_WORKERS)
+        result = run_native(Machine(load_process(image)))
+        assert result.exit_status == 12  # 5 + 7 accumulated by workers
+
+    def test_thread_ids_allocated(self):
+        image = build_mt_image(TWO_WORKERS)
+        machine = Machine(load_process(image))
+        run_native(machine)
+        assert [t.tid for t in machine.threads] == [1, 2, 3]
+        assert all(not t.alive for t in machine.threads)
+
+    def test_threads_have_distinct_stacks(self):
+        image = build_mt_image(TWO_WORKERS)
+        machine = Machine(load_process(image))
+        run_native(machine)
+        import repro.isa.registers as regs
+        stacks = {t.registers[regs.SP] // (1 << 20) for t in machine.threads}
+        assert len(stacks) == 3
+
+    def test_returning_worker_exits_via_stub(self):
+        image = build_mt_image(RETURNING_WORKER, data=None)
+        result = run_native(Machine(load_process(image)))
+        assert result.exit_status == 42
+
+    def test_gettid(self):
+        image = build_mt_image(GETTID_PROGRAM, data=None)
+        result = run_native(Machine(load_process(image)))
+        assert result.exit_status == 1  # main thread
+
+    def test_exit_stub_mapped(self):
+        image = build_mt_image(GETTID_PROGRAM, data=None)
+        machine = Machine(load_process(image))
+        mapping = machine.process.space.find_mapping(THREAD_EXIT_STUB)
+        assert mapping.image is None  # anonymous: unbacked code
+
+
+class TestVMEquivalence:
+    @pytest.mark.parametrize("source", [TWO_WORKERS, RETURNING_WORKER])
+    def test_native_vm_identical(self, source):
+        data = ("counter", 8) if "counter" in source else None
+        image = build_mt_image(source, data=data)
+        native = run_native(Machine(load_process(image)))
+        vm = Engine().run(load_process(image))
+        assert vm.exit_status == native.exit_status
+        assert vm.instructions == native.instructions
+
+    def test_thread_exit_stub_executes_under_vm(self):
+        image = build_mt_image(RETURNING_WORKER, data=None)
+        vm = Engine().run(load_process(image))
+        assert vm.exit_status == 42
+        # The stub's trace has no backing image.
+        assert any(
+            path == "" for path, _o, _s in vm.stats.trace_identities
+        )
+
+
+class TestPersistenceWithThreads:
+    def test_cache_written_when_last_thread_exits(self, tmp_path):
+        image = build_mt_image(TWO_WORKERS)
+        db = CacheDatabase(str(tmp_path / "db"))
+
+        def run():
+            session = PersistentCacheSession(PersistenceConfig(database=db))
+            return Engine(persistence=session).run(load_process(image))
+
+        first = run()
+        assert first.persistence_report["written"]
+        second = run()
+        assert second.stats.traces_translated == 0
+        assert second.exit_status == first.exit_status == 12
+
+    def test_unbacked_stub_trace_never_persisted(self, tmp_path):
+        image = build_mt_image(RETURNING_WORKER, data=None)
+        db = CacheDatabase(str(tmp_path / "db"))
+        session = PersistentCacheSession(PersistenceConfig(database=db))
+        Engine(persistence=session).run(load_process(image))
+        cache = db.lookup(
+            # recompute the app key the way the manager does
+            __import__("repro.persist.keys", fromlist=["mapping_key"]).mapping_key(
+                image, 0x40_0000
+            ),
+            "repro-dbi-1.0.0",
+            Engine().tool.identity(),
+        )
+        assert cache is not None
+        assert all(trace.image_path == "mt-app" for trace in cache.traces)
+
+        # The second run re-translates exactly the unbacked stub trace.
+        session = PersistentCacheSession(PersistenceConfig(database=db))
+        warm = Engine(persistence=session).run(load_process(image))
+        assert warm.stats.traces_translated == 1
+        (identity,) = warm.stats.trace_identities
+        assert identity[0] == ""

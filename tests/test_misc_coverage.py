@@ -1,0 +1,150 @@
+"""Small behaviours not covered by the focused suites."""
+
+import pytest
+
+from repro.analysis.report import format_matrix
+from repro.loader.linker import ImageStore, load_process
+from repro.machine.cpu import Machine, run_native
+from repro.vm.client import ToolAccounting
+
+from tests.conftest import TINY_PROGRAM, image_from_asm
+
+
+class TestReportNonPercent:
+    def test_matrix_raw_values(self):
+        matrix = {"a": {"a": 1.0, "b": 0.5}, "b": {"a": 0.25, "b": 1.0}}
+        text = format_matrix(matrix, order=["a", "b"], as_percent=False)
+        assert "1.00" in text and "0.50" in text
+        assert "%" not in text
+
+
+class TestToolAccounting:
+    def test_record_call_aggregates(self):
+        accounting = ToolAccounting()
+        accounting.record_call("x", 2.0)
+        accounting.record_call("x", 3.0)
+        accounting.record_call("y", 1.0)
+        assert accounting.analysis_calls == 3
+        assert accounting.analysis_cycles == 6.0
+        assert accounting.calls_by_label == {"x": 2, "y": 1}
+
+
+class TestImageStore:
+    def test_contains(self):
+        image = image_from_asm(TINY_PROGRAM)
+        store = ImageStore()
+        assert "app" not in store
+        store.add(image)
+        assert "app" in store
+        assert store("app") is image
+
+
+class TestThreadEdges:
+    def test_yield_with_single_thread_is_noop(self):
+        machine = Machine(load_process(image_from_asm(
+            """
+            main:
+                movi rv, 10     ; SYS_YIELD with nobody else runnable
+                syscall
+                movi rv, 1
+                movi a0, 4
+                syscall
+            """
+        )))
+        result = run_native(machine)
+        assert result.exit_status == 4
+        assert len(machine.threads) == 1
+
+    def test_round_robin_over_three_workers(self):
+        """Workers run strictly in spawn order at each yield round."""
+        from repro.binfmt.image import ImageBuilder
+        from repro.isa import instructions as ins
+        from repro.isa import registers as regs
+        from repro.machine.syscalls import (
+            SYS_EXIT, SYS_THREAD_CREATE, SYS_WRITE, SYS_YIELD,
+        )
+
+        builder = ImageBuilder("rr")
+        # worker: write one byte ('A' + arg) to output, exit.
+        worker = [
+            ins.addi(regs.T0 + 1, regs.A0, ord("A")),
+            ins.st(regs.SP, regs.T0 + 1, 0),
+            ins.movi(regs.A0, 1),
+            ins.or_(regs.A1, regs.SP, regs.ZERO),
+            ins.movi(regs.RV, SYS_WRITE),
+            ins.syscall(),
+            ins.movi(regs.RV, SYS_EXIT),
+            ins.movi(regs.A0, 0),
+            ins.syscall(),
+        ]
+        builder.add_function("worker", worker)
+        main = []
+        refs = []
+        for index in range(3):
+            refs.append((len(main), "worker"))
+            main += [
+                ins.movi(regs.A0, 0),
+                ins.movi(regs.A1, index),
+                ins.movi(regs.RV, SYS_THREAD_CREATE),
+                ins.syscall(),
+            ]
+        main += [
+            ins.movi(regs.RV, SYS_YIELD),
+            ins.syscall(),
+            ins.movi(regs.RV, SYS_EXIT),
+            ins.movi(regs.A0, 0),
+            ins.syscall(),
+        ]
+        builder.add_function("main", main, symbol_refs=refs)
+        builder.set_entry("main")
+        machine = Machine(load_process(builder.build()))
+        result = run_native(machine)
+        # One yield lets all three workers run to completion in spawn
+        # order before control returns to main.
+        assert result.output == b"ABC"
+
+    def test_output_byte_order_is_deterministic_under_vm(self):
+        from repro.vm.engine import Engine
+        from repro.binfmt.image import ImageBuilder
+        from repro.isa import instructions as ins
+        from repro.isa import registers as regs
+        from repro.machine.syscalls import (
+            SYS_EXIT, SYS_THREAD_CREATE, SYS_WRITE, SYS_YIELD,
+        )
+
+        builder = ImageBuilder("rr2")
+        worker = [
+            ins.addi(regs.T0 + 1, regs.A0, ord("x")),
+            ins.st(regs.SP, regs.T0 + 1, 0),
+            ins.movi(regs.A0, 1),
+            ins.or_(regs.A1, regs.SP, regs.ZERO),
+            ins.movi(regs.RV, SYS_WRITE),
+            ins.syscall(),
+            ins.movi(regs.RV, SYS_EXIT),
+            ins.movi(regs.A0, 0),
+            ins.syscall(),
+        ]
+        builder.add_function("worker", worker)
+        main = []
+        refs = []
+        for index in range(2):
+            refs.append((len(main), "worker"))
+            main += [
+                ins.movi(regs.A0, 0),
+                ins.movi(regs.A1, index),
+                ins.movi(regs.RV, SYS_THREAD_CREATE),
+                ins.syscall(),
+            ]
+        main += [
+            ins.movi(regs.RV, SYS_YIELD),
+            ins.syscall(),
+            ins.movi(regs.RV, SYS_EXIT),
+            ins.movi(regs.A0, 0),
+            ins.syscall(),
+        ]
+        builder.add_function("main", main, symbol_refs=refs)
+        builder.set_entry("main")
+        image = builder.build()
+        native = run_native(Machine(load_process(image)))
+        vm = Engine().run(load_process(image))
+        assert native.output == vm.output == b"xy"

@@ -1,0 +1,298 @@
+"""Tests for dynamic module load/unload (dlopen/dlclose).
+
+Covers the machine semantics, the VM's module-aware translation retention
+(after Li et al. [19], which the paper's §5 contrasts with persistence),
+and the persistence manager's run-time load interception.
+"""
+
+import pytest
+
+from repro.binfmt.image import ImageBuilder, ImageKind
+from repro.isa import instructions as ins
+from repro.isa import registers as regs
+from repro.loader.linker import LinkError, load_process
+from repro.machine.cpu import Machine, run_native
+from repro.machine.syscalls import (
+    SYS_DLCLOSE,
+    SYS_DLOPEN,
+    SYS_EXIT,
+)
+from repro.persist.database import CacheDatabase
+from repro.persist.manager import PersistenceConfig, PersistentCacheSession
+from repro.vm.engine import Engine, VMConfig
+from repro.workloads.harness import Workload, run_native as run_native_wl, run_vm
+from repro.workloads.builder import InputSpec
+
+
+def build_module(name="plugin.so", increment=5, mtime=None):
+    """A module exporting ``entry`` at offset 0: t6 += increment; ret.
+
+    A rebuilt module gets a fresh mtime (defaulting to the increment), as
+    a real rebuild would — mapping keys rely on it, exactly like the
+    paper's (and Pin's) keys do.
+    """
+    builder = ImageBuilder(
+        name, ImageKind.SHARED_LIBRARY,
+        mtime=increment if mtime is None else mtime,
+    )
+    builder.add_function(
+        "plugin_entry",
+        [ins.addi(16, 16, increment), ins.ret()],  # t6 += increment
+    )
+    return builder.build()
+
+
+def build_host(open_close_cycles=2):
+    """An app that dlopens module 0, calls it, dlcloses, repeatedly."""
+    code = [
+        ins.movi(regs.S0, 0),  # cycle counter
+    ]
+    loop_head = len(code)
+    code += [
+        ins.movi(regs.A0, 0),
+        ins.movi(regs.RV, SYS_DLOPEN),
+        ins.syscall(),                    # rv = module base
+        ins.or_(regs.T0, regs.RV, regs.ZERO),
+        ins.callr(regs.T0),               # call plugin_entry at base+0
+        ins.movi(regs.A0, 0),
+        ins.movi(regs.RV, SYS_DLCLOSE),
+        ins.syscall(),
+        ins.addi(regs.S0, regs.S0, 1),
+        ins.movi(regs.T0 + 1, open_close_cycles),
+    ]
+    here = len(code)
+    code.append(ins.blt(regs.S0, regs.T0 + 1, (loop_head - (here + 1)) * 8))
+    code += [
+        ins.movi(regs.RV, SYS_EXIT),
+        ins.or_(regs.A0, 16, regs.ZERO),  # exit(t6)
+        ins.syscall(),
+    ]
+    builder = ImageBuilder("host-app")
+    builder.add_function("main", code)
+    builder.set_entry("main")
+    return builder.build()
+
+
+def make_workload(cycles=2, increment=5):
+    return Workload(
+        name="host",
+        image=build_host(cycles),
+        inputs={"go": InputSpec("go", hot_iterations=0)},
+        modules=[build_module(increment=increment)],
+    )
+
+
+class TestMachineSemantics:
+    def test_dlopen_call_dlclose(self):
+        workload = make_workload(cycles=3, increment=5)
+        result = run_native_wl(workload, "go")
+        assert result.exit_status == 15  # called once per cycle
+
+    def test_module_base_stable_across_reloads(self):
+        process = load_process(
+            build_host(), optional_modules=[build_module()]
+        )
+        machine = Machine(process)
+        first = machine.dlopen(0)
+        machine.dlclose(0)
+        second = machine.dlopen(0)
+        assert first == second
+
+    def test_dlopen_idempotent(self):
+        process = load_process(
+            build_host(), optional_modules=[build_module()]
+        )
+        machine = Machine(process)
+        assert machine.dlopen(0) == machine.dlopen(0)
+
+    def test_unknown_module(self):
+        process = load_process(build_host())
+        machine = Machine(process)
+        with pytest.raises(LinkError):
+            machine.dlopen(7)
+
+    def test_dlclose_unloaded(self):
+        process = load_process(
+            build_host(), optional_modules=[build_module()]
+        )
+        machine = Machine(process)
+        with pytest.raises(LinkError):
+            machine.dlclose(0)
+
+    def test_unmapped_after_close(self):
+        process = load_process(
+            build_host(), optional_modules=[build_module()]
+        )
+        machine = Machine(process)
+        base = machine.dlopen(0)
+        machine.dlclose(0)
+        from repro.loader.mapper import MemoryError_
+
+        with pytest.raises(MemoryError_):
+            process.space.find_mapping(base)
+
+
+class TestVMSemantics:
+    def test_vm_native_equivalence(self):
+        workload = make_workload(cycles=3)
+        native = run_native_wl(workload, "go")
+        vm = run_vm(workload, "go")
+        assert vm.exit_status == native.exit_status
+        assert vm.instructions == native.instructions
+
+    def test_module_retention_avoids_retranslation(self):
+        """Second dlopen re-registers the stashed translations."""
+        workload = make_workload(cycles=3)
+        vm = run_vm(workload, "go")
+        assert vm.stats.module_loads == 3
+        assert vm.stats.module_unloads == 3
+        assert vm.stats.module_traces_retained >= 2  # cycles 2 and 3
+        # The plugin translated exactly once.
+        plugin_translations = [
+            identity for identity in vm.stats.trace_identities
+            if identity[0] == "plugin.so"
+        ]
+        assert len(plugin_translations) == 1
+
+    def test_retention_disabled_retranslates(self):
+        workload = make_workload(cycles=3)
+        vm = run_vm(
+            workload, "go",
+            vm_config=VMConfig(module_retention=False),
+        )
+        assert vm.stats.module_traces_retained == 0
+        # Each reload re-translates the plugin.
+        assert vm.stats.traces_translated >= 3
+
+
+class TestModulePersistence:
+    def test_module_traces_persisted_and_revived(self, tmp_path):
+        """Module translations persist (host keeps it loaded at exit) and
+        revive at dlopen time in the next run."""
+        module = build_module()
+        # Host that opens the module and exits WITHOUT closing it.
+        code = [
+            ins.movi(regs.A0, 0),
+            ins.movi(regs.RV, SYS_DLOPEN),
+            ins.syscall(),
+            ins.or_(regs.T0, regs.RV, regs.ZERO),
+            ins.callr(regs.T0),
+            ins.movi(regs.RV, SYS_EXIT),
+            ins.or_(regs.A0, 16, regs.ZERO),
+            ins.syscall(),
+        ]
+        builder = ImageBuilder("host-keep")
+        builder.add_function("main", code)
+        builder.set_entry("main")
+        workload = Workload(
+            name="host-keep",
+            image=builder.build(),
+            inputs={"go": InputSpec("go", hot_iterations=0)},
+            modules=[module],
+        )
+        db = CacheDatabase(str(tmp_path / "db"))
+        first = run_vm(workload, "go",
+                       persistence=PersistenceConfig(database=db))
+        assert first.exit_status == 5
+        second = run_vm(workload, "go",
+                        persistence=PersistenceConfig(database=db))
+        assert second.exit_status == 5
+        assert second.stats.traces_translated == 0
+        # The module's trace came back through the dlopen interception.
+        assert second.stats.traces_from_persistent >= first.cache_traces
+
+    def _keep_open_workload(self, increment):
+        """A host that dlopens and exits with the module still loaded, so
+        its traces ARE persisted."""
+        code = [
+            ins.movi(regs.A0, 0),
+            ins.movi(regs.RV, SYS_DLOPEN),
+            ins.syscall(),
+            ins.or_(regs.T0, regs.RV, regs.ZERO),
+            ins.callr(regs.T0),
+            ins.movi(regs.RV, SYS_EXIT),
+            ins.or_(regs.A0, 16, regs.ZERO),
+            ins.syscall(),
+        ]
+        builder = ImageBuilder("host-keep")
+        builder.add_function("main", code)
+        builder.set_entry("main")
+        return Workload(
+            name="host-keep",
+            image=builder.build(),
+            inputs={"go": InputSpec("go", hot_iterations=0)},
+            modules=[build_module(increment=increment)],
+        )
+
+    def test_rebuilt_module_invalidated_at_dlopen(self, tmp_path):
+        """A rebuilt module (new mtime) fails the key check at dlopen:
+        its persisted traces are invalidated and the NEW code executes."""
+        db = CacheDatabase(str(tmp_path / "db"))
+        first = run_vm(self._keep_open_workload(5), "go",
+                       persistence=PersistenceConfig(database=db))
+        assert first.exit_status == 5
+        changed = run_vm(self._keep_open_workload(9), "go",
+                         persistence=PersistenceConfig(database=db))
+        assert changed.exit_status == 9  # correctness: new code executed
+        assert changed.persistence_report["invalidated"] > 0
+        # And the refreshed cache now serves the new module verbatim.
+        warm = run_vm(self._keep_open_workload(9), "go",
+                      persistence=PersistenceConfig(database=db))
+        assert warm.exit_status == 9
+        assert warm.stats.traces_translated == 0
+
+
+class TestModuleSmcInteraction:
+    def test_modified_module_trace_not_retained_across_reload(self):
+        """Write into a loaded module's code, dlclose, dlopen: the reload
+        maps a pristine copy and must execute the ORIGINAL code, not a
+        stashed translation of the modified bytes."""
+        from repro.isa.encoding import encode
+        from repro.machine.syscalls import SYS_DLCLOSE, SYS_DLOPEN
+
+        module = build_module(increment=5)
+        new_word = int.from_bytes(
+            encode(ins.addi(16, 16, 50)), "little", signed=True
+        )
+        lo = new_word & 0xFFFF
+        hi = (new_word >> 16) & ((1 << 47) - 1)
+        code = [
+            # open + call (t6 += 5), translating the original code
+            ins.movi(regs.A0, 0),
+            ins.movi(regs.RV, SYS_DLOPEN),
+            ins.syscall(),
+            ins.or_(regs.T0, regs.RV, regs.ZERO),
+            ins.callr(regs.T0),
+            # patch the module's first instruction to t6 += 50 and rerun
+            ins.movi(regs.T0 + 2, hi),
+            ins.shli(regs.T0 + 2, regs.T0 + 2, 16),
+            ins.ori(regs.T0 + 2, regs.T0 + 2, lo),
+            ins.st(regs.T0, regs.T0 + 2, 0),
+            ins.callr(regs.T0),               # t6 += 50 (modified)
+            # close and reopen: pristine copy again
+            ins.movi(regs.A0, 0),
+            ins.movi(regs.RV, SYS_DLCLOSE),
+            ins.syscall(),
+            ins.movi(regs.A0, 0),
+            ins.movi(regs.RV, SYS_DLOPEN),
+            ins.syscall(),
+            ins.or_(regs.T0, regs.RV, regs.ZERO),
+            ins.callr(regs.T0),               # must be t6 += 5 again
+            ins.movi(regs.RV, SYS_EXIT),
+            ins.or_(regs.A0, 16, regs.ZERO),
+            ins.syscall(),
+        ]
+        builder = ImageBuilder("smc-host")
+        builder.add_function("main", code)
+        builder.set_entry("main")
+        workload = Workload(
+            name="smc-host",
+            image=builder.build(),
+            inputs={"go": InputSpec("go", hot_iterations=0)},
+            modules=[module],
+        )
+        native = run_native_wl(workload, "go")
+        assert native.exit_status == 60  # 5 + 50 + 5
+        vm = run_vm(workload, "go")
+        assert vm.exit_status == 60
+        assert vm.instructions == native.instructions

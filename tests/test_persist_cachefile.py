@@ -1,0 +1,176 @@
+"""Tests for the on-disk persistent cache format."""
+
+import pytest
+
+from repro.persist.cachefile import (
+    CacheFileError,
+    PersistedExit,
+    PersistedReloc,
+    PersistedTrace,
+    PersistentCache,
+)
+from repro.persist.keys import MappingKey
+from repro.vm.trace import ExitKind
+
+
+def make_trace(offset=0, path="app", n=4, data_size=400):
+    return PersistedTrace(
+        entry=0x40_0000 + offset,
+        image_path=path,
+        image_offset=offset,
+        n_insts=n,
+        code=bytes(range(n)) * 8,  # n*8 bytes of fake encoded code
+        exits=[
+            PersistedExit(int(ExitKind.DIRECT), n - 1, 0x41_0000, path, 0x100)
+        ],
+        relocs=[PersistedReloc(n - 1, path, 0x100)],
+        data_size=data_size,
+        liveness=[0xFF] * n,
+    )
+
+
+def make_cache(n_traces=3):
+    cache = PersistentCache(
+        vm_version="vm-1", tool_identity="tool-1", app_path="app"
+    )
+    cache.image_keys["app"] = MappingKey("app", 0x40_0000, 0x1000, "hd", 1)
+    for index in range(n_traces):
+        cache.traces.append(make_trace(offset=index * 64))
+    return cache
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self):
+        cache = make_cache()
+        clone = PersistentCache.from_bytes(cache.to_bytes())
+        assert clone.vm_version == cache.vm_version
+        assert clone.tool_identity == cache.tool_identity
+        assert clone.app_path == cache.app_path
+        assert clone.image_keys == cache.image_keys
+        assert len(clone.traces) == len(cache.traces)
+        for original, loaded in zip(cache.traces, clone.traces):
+            assert loaded.entry == original.entry
+            assert loaded.code == original.code
+            assert loaded.exits == original.exits
+            assert loaded.relocs == original.relocs
+            assert loaded.liveness == original.liveness
+            assert loaded.data_size == original.data_size
+
+    def test_save_load(self, tmp_path):
+        path = str(tmp_path / "x.cache")
+        cache = make_cache()
+        cache.save(path)
+        assert len(PersistentCache.load(path).traces) == 3
+
+    def test_corruption_detected(self):
+        blob = bytearray(make_cache().to_bytes())
+        blob[len(blob) // 2] ^= 0x5A
+        with pytest.raises(CacheFileError):
+            PersistentCache.from_bytes(bytes(blob))
+
+    def test_bad_magic(self):
+        with pytest.raises(CacheFileError):
+            PersistentCache.from_bytes(b"XXXX" + b"\x00" * 32)
+
+    def test_empty_cache_roundtrip(self):
+        cache = PersistentCache(vm_version="v", tool_identity="t", app_path="a")
+        clone = PersistentCache.from_bytes(cache.to_bytes())
+        assert clone.traces == []
+
+
+class TestPools:
+    def test_data_blob_exact_size(self):
+        trace = make_trace(data_size=512)
+        assert len(trace.build_data_blob()) == 512
+
+    def test_data_pool_matches_directory(self):
+        cache = make_cache()
+        blob = cache.to_bytes()
+        # from_bytes validates pool sizes internally; this must not raise.
+        PersistentCache.from_bytes(blob)
+
+    def test_pool_totals(self):
+        cache = make_cache(n_traces=4)
+        assert cache.total_code_bytes == sum(t.code_size for t in cache.traces)
+        assert cache.total_data_bytes == 4 * 400
+
+    def test_file_size_includes_both_pools(self):
+        small = make_cache(n_traces=1).file_size
+        large = make_cache(n_traces=5).file_size
+        assert large > small + 4 * 400  # at least the extra data blobs
+
+
+class TestAccumulation:
+    def test_adds_only_new_identities(self):
+        cache = make_cache(n_traces=2)
+        existing = make_trace(offset=0)  # duplicate identity
+        fresh = make_trace(offset=999)
+        added = cache.accumulate([existing, fresh], {})
+        assert added == 1
+        assert len(cache.traces) == 3
+
+    def test_generation_bumped(self):
+        cache = make_cache()
+        before = cache.generation
+        cache.accumulate([], {})
+        assert cache.generation == before + 1
+
+    def test_keys_refreshed(self):
+        cache = make_cache()
+        new_key = MappingKey("libz.so", 0x9000, 64, "zz", 3)
+        cache.accumulate([], {"libz.so": new_key})
+        assert cache.image_keys["libz.so"] == new_key
+
+    def test_drop_traces(self):
+        cache = make_cache(n_traces=3)
+        dropped = cache.drop_traces({("app", 0), ("app", 64)})
+        assert dropped == 2
+        assert len(cache.traces) == 1
+
+    def test_identity(self):
+        trace = make_trace(offset=8, path="libq.so")
+        assert trace.identity == ("libq.so", 8)
+
+    def test_traces_for_image(self):
+        cache = make_cache()
+        cache.traces.append(make_trace(offset=0, path="libw.so"))
+        assert len(cache.traces_for_image("libw.so")) == 1
+        assert len(cache.traces_for_image("app")) == 3
+
+
+class TestDirectoryValidation:
+    def _tamper(self, field, value):
+        """Serialize a cache, corrupt one directory field, re-frame."""
+        import json
+        import struct
+        import zlib
+
+        from repro.persist.cachefile import MAGIC
+
+        blob = make_cache().to_bytes()
+        header_len = struct.unpack_from("<I", blob, len(MAGIC))[0]
+        header_start = len(MAGIC) + 4
+        header = json.loads(blob[header_start:header_start + header_len])
+        header["traces"][0][field] = value
+        new_header = json.dumps(header, sort_keys=True).encode()
+        body = (
+            MAGIC
+            + struct.pack("<I", len(new_header))
+            + new_header
+            + blob[header_start + header_len:-4]
+        )
+        return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("code_offset", -8),
+            ("code_size", -1),
+            ("data_size", -1),
+            ("n_insts", 0),
+            ("code_offset", 10**6),
+        ],
+    )
+    def test_out_of_bounds_records_rejected(self, field, value):
+        with pytest.raises(CacheFileError):
+            PersistentCache.from_bytes(self._tamper(field, value))

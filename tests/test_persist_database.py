@@ -1,0 +1,116 @@
+"""Tests for the persistent cache database."""
+
+import os
+
+from repro.persist.cachefile import PersistentCache
+from repro.persist.database import CacheDatabase
+from repro.persist.keys import MappingKey
+
+from tests.test_persist_cachefile import make_cache, make_trace
+
+
+def app_key(path="app", base=0x40_0000):
+    return MappingKey(path, base, 0x1000, "hd-" + path, 1)
+
+
+class TestStoreLookup:
+    def test_roundtrip(self, tmp_path):
+        db = CacheDatabase(str(tmp_path))
+        cache = make_cache()
+        db.store(cache, app_key())
+        found = db.lookup(app_key(), "vm-1", "tool-1")
+        assert found is not None
+        assert len(found.traces) == 3
+
+    def test_miss_on_unknown_app(self, tmp_path):
+        db = CacheDatabase(str(tmp_path))
+        db.store(make_cache(), app_key())
+        assert db.lookup(app_key("other"), "vm-1", "tool-1") is None
+
+    def test_miss_on_vm_version(self, tmp_path):
+        db = CacheDatabase(str(tmp_path))
+        db.store(make_cache(), app_key())
+        assert db.lookup(app_key(), "vm-2", "tool-1") is None
+
+    def test_miss_on_tool(self, tmp_path):
+        db = CacheDatabase(str(tmp_path))
+        db.store(make_cache(), app_key())
+        assert db.lookup(app_key(), "vm-1", "tool-2") is None
+
+    def test_replace_same_triple(self, tmp_path):
+        db = CacheDatabase(str(tmp_path))
+        db.store(make_cache(n_traces=2), app_key())
+        db.store(make_cache(n_traces=5), app_key())
+        assert len(db.entries()) == 1
+        assert len(db.lookup(app_key(), "vm-1", "tool-1").traces) == 5
+
+    def test_index_survives_reopen(self, tmp_path):
+        CacheDatabase(str(tmp_path)).store(make_cache(), app_key())
+        reopened = CacheDatabase(str(tmp_path))
+        assert reopened.lookup(app_key(), "vm-1", "tool-1") is not None
+
+    def test_clear(self, tmp_path):
+        db = CacheDatabase(str(tmp_path))
+        entry = db.store(make_cache(), app_key())
+        db.clear()
+        assert db.entries() == []
+        assert not os.path.exists(os.path.join(str(tmp_path), entry.filename))
+        assert db.lookup(app_key(), "vm-1", "tool-1") is None
+
+
+def _cache_for_app(app_path, n_traces):
+    cache = PersistentCache(
+        vm_version="vm-1", tool_identity="tool-1", app_path=app_path
+    )
+    for index in range(n_traces):
+        cache.traces.append(make_trace(offset=index * 64, path=app_path))
+    return cache
+
+
+class TestInterApplicationLookup:
+    def test_finds_other_apps_cache(self, tmp_path):
+        db = CacheDatabase(str(tmp_path))
+        db.store(_cache_for_app("gvim", 3), app_key("gvim"))
+        found = db.lookup_inter_application("vm-1", "tool-1",
+                                            exclude_app_path="gftp")
+        assert found is not None
+        assert found.app_path == "gvim"
+
+    def test_excludes_own_app(self, tmp_path):
+        db = CacheDatabase(str(tmp_path))
+        db.store(_cache_for_app("gftp", 3), app_key("gftp"))
+        assert db.lookup_inter_application(
+            "vm-1", "tool-1", exclude_app_path="gftp"
+        ) is None
+
+    def test_vm_and_tool_still_checked(self, tmp_path):
+        db = CacheDatabase(str(tmp_path))
+        db.store(_cache_for_app("gvim", 3), app_key("gvim"))
+        assert db.lookup_inter_application("vm-2", "tool-1") is None
+        assert db.lookup_inter_application("vm-1", "tool-9") is None
+
+    def test_default_picks_largest(self, tmp_path):
+        db = CacheDatabase(str(tmp_path))
+        db.store(_cache_for_app("small", 1), app_key("small"))
+        db.store(_cache_for_app("big", 8), app_key("big"))
+        found = db.lookup_inter_application("vm-1", "tool-1")
+        assert found.app_path == "big"
+
+    def test_custom_selector(self, tmp_path):
+        db = CacheDatabase(str(tmp_path))
+        db.store(_cache_for_app("small", 1), app_key("small"))
+        db.store(_cache_for_app("big", 8), app_key("big"))
+
+        def pick_small(candidates):
+            return min(candidates, key=lambda entry: entry.file_size)
+
+        found = db.lookup_inter_application("vm-1", "tool-1", select=pick_small)
+        assert found.app_path == "small"
+
+    def test_selector_may_decline(self, tmp_path):
+        db = CacheDatabase(str(tmp_path))
+        db.store(_cache_for_app("x", 1), app_key("x"))
+        found = db.lookup_inter_application(
+            "vm-1", "tool-1", select=lambda candidates: None
+        )
+        assert found is None

@@ -1,0 +1,79 @@
+"""Tests for persistent-cache keys."""
+
+from repro.persist.keys import (
+    MappingKey,
+    cache_lookup_digest,
+    mapping_key,
+    tool_key,
+    vm_key,
+)
+
+from tests.conftest import TINY_PROGRAM, image_from_asm
+
+
+def key_for(**overrides):
+    base = dict(path="libx.so", base=0x1000, size=0x400,
+                header_digest="abc", mtime=5)
+    base.update(overrides)
+    return MappingKey(**base)
+
+
+class TestMappingKey:
+    def test_exact_match(self):
+        assert key_for().matches(key_for())
+
+    def test_any_component_breaks_match(self):
+        reference = key_for()
+        assert not reference.matches(key_for(path="liby.so"))
+        assert not reference.matches(key_for(base=0x2000))
+        assert not reference.matches(key_for(size=0x800))
+        assert not reference.matches(key_for(header_digest="zzz"))
+        assert not reference.matches(key_for(mtime=6))
+
+    def test_content_match_ignores_base(self):
+        assert key_for().matches_content(key_for(base=0x9999))
+
+    def test_content_match_still_checks_binary(self):
+        reference = key_for()
+        assert not reference.matches_content(key_for(mtime=99))
+        assert not reference.matches_content(key_for(header_digest="zzz"))
+        assert not reference.matches_content(key_for(path="other.so"))
+
+    def test_json_roundtrip(self):
+        key = key_for()
+        assert MappingKey.from_json(key.to_json()) == key
+
+    def test_digest_stable(self):
+        assert key_for().digest == key_for().digest
+
+
+class TestKeyDerivation:
+    def test_mapping_key_from_image(self):
+        image = image_from_asm(TINY_PROGRAM, mtime=42)
+        key = mapping_key(image, 0x40_0000)
+        assert key.path == "app"
+        assert key.base == 0x40_0000
+        assert key.size == image.size
+        assert key.mtime == 42
+        assert key.header_digest == image.header_digest()
+
+    def test_rebuilt_binary_changes_key(self):
+        """Modifying a binary (new mtime) invalidates its translations."""
+        old = mapping_key(image_from_asm(TINY_PROGRAM, mtime=1), 0x1000)
+        new = mapping_key(image_from_asm(TINY_PROGRAM, mtime=2), 0x1000)
+        assert not old.matches(new)
+        assert not old.matches_content(new)
+
+    def test_vm_and_tool_keys(self):
+        assert vm_key("v1") != vm_key("v2")
+        assert tool_key("a") != tool_key("b")
+        assert vm_key("v1") == vm_key("v1")
+
+    def test_lookup_digest(self):
+        image = image_from_asm(TINY_PROGRAM)
+        app = mapping_key(image, 0x1000)
+        exact = cache_lookup_digest(app, "v1", "t1")
+        assert exact == cache_lookup_digest(app, "v1", "t1")
+        assert exact != cache_lookup_digest(app, "v2", "t1")
+        assert exact != cache_lookup_digest(app, "v1", "t2")
+        assert exact != cache_lookup_digest(None, "v1", "t1")

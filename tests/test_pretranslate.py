@@ -1,0 +1,90 @@
+"""Tests for the static pre-translation utility (paper §5 comparison)."""
+
+import pytest
+
+from repro.binfmt.image import ImageKind
+from repro.loader.linker import ImageStore, load_process
+from repro.persist.pretranslate import (
+    pretranslate_image,
+    pretranslate_process,
+)
+from repro.tools import MemTraceTool
+
+from tests.conftest import TINY_PROGRAM, image_from_asm
+
+
+@pytest.fixture
+def tiny():
+    return image_from_asm(TINY_PROGRAM)
+
+
+class TestPretranslateImage:
+    def test_covers_whole_text(self, tiny):
+        result = pretranslate_image(tiny)
+        assert result.original_code_bytes == tiny.section(".text").size
+        assert result.traces >= 1
+        assert result.compile_cycles > 0
+
+    def test_expansion(self, tiny):
+        result = pretranslate_image(tiny)
+        # Translated code alone exceeds the original (exit stubs).
+        assert result.translated_code_bytes > result.original_code_bytes
+        # Data structures push total expansion well past 2x.
+        assert result.expansion_factor > 2.0
+
+    def test_instrumentation_grows_output(self, tiny):
+        from repro.tools import BBCountTool
+
+        plain = pretranslate_image(tiny)
+        instrumented = pretranslate_image(tiny, tool=BBCountTool())
+        assert instrumented.total_bytes > plain.total_bytes
+        assert instrumented.compile_cycles > plain.compile_cycles
+
+    def test_memtrace_grows_memory_heavy_code(self):
+        image = image_from_asm(
+            """
+            main:
+                st  t1, 0(sp)
+                ld  t2, 0(sp)
+                st  t2, 8(sp)
+                halt
+            """
+        )
+        plain = pretranslate_image(image)
+        instrumented = pretranslate_image(image, tool=MemTraceTool())
+        assert instrumented.total_bytes > plain.total_bytes
+
+    def test_trace_limit_respected(self, tiny):
+        fine = pretranslate_image(tiny, max_trace_insts=2)
+        coarse = pretranslate_image(tiny, max_trace_insts=24)
+        assert fine.traces >= coarse.traces
+        assert fine.original_code_bytes == coarse.original_code_bytes
+
+
+class TestPretranslateProcess:
+    def test_includes_libraries(self):
+        lib = image_from_asm(
+            "libp_fn:\n    addi t1, t1, 1\n    ret\n",
+            path="libp.so",
+            kind=ImageKind.SHARED_LIBRARY,
+        )
+        main = image_from_asm(
+            "main:\n    call libp_fn\n    halt\n", needed=["libp.so"]
+        )
+        process = load_process(main, ImageStore({lib.path: lib}))
+        total = pretranslate_process(process)
+        app_only = pretranslate_image(main)
+        assert total.original_code_bytes > app_only.original_code_bytes
+        assert total.traces > app_only.traces
+
+    def test_merge_accumulates(self, tiny):
+        a = pretranslate_image(tiny)
+        b = pretranslate_image(tiny)
+        total_traces = a.traces + b.traces
+        a.merge(b)
+        assert a.traces == total_traces
+
+    def test_zero_code(self):
+        from repro.persist.pretranslate import PretranslationResult
+
+        assert PretranslationResult().expansion_factor == 0.0

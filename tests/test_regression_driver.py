@@ -1,0 +1,103 @@
+"""Tests for the regression-test driver."""
+
+import pytest
+
+from repro.persist.database import CacheDatabase
+from repro.tools import CoverageTool
+from repro.workloads.oracle import PHASES, build_oracle
+from repro.workloads.regression import (
+    RegressionDriver,
+    interleaved_cases,
+    round_robin_cases,
+)
+
+from tests.test_persist_manager import mini_workload
+
+
+@pytest.fixture
+def driver(tmp_path):
+    return RegressionDriver(CacheDatabase(str(tmp_path / "db")))
+
+
+class TestSequenceConstruction:
+    def test_round_robin(self):
+        workload = mini_workload()
+        cases = round_robin_cases(workload, ["a", "b"], rounds=3)
+        assert len(cases) == 6
+        assert [name for _w, name in cases] == ["a", "b"] * 3
+
+    def test_interleaved(self):
+        w1, w2 = mini_workload(app_path="w1"), mini_workload(app_path="w2")
+        cases = interleaved_cases([w1, w2], ["a"], count=5)
+        assert len(cases) == 5
+        assert {w.name for w, _n in cases} == {"mini"}
+
+
+class TestDriver:
+    def test_costs_drop_over_repeated_tests(self, driver):
+        workload = mini_workload()
+        report = driver.run_sequence(round_robin_cases(workload, ["a"], 3))
+        cycles = report.cycles_by_test()
+        assert cycles[1] < cycles[0]
+        assert cycles[2] <= cycles[1] * 1.01
+        assert report.outcomes[1].traces_translated == 0
+
+    def test_accumulation_across_different_tests(self, driver):
+        workload = mini_workload()
+        report = driver.run_sequence(
+            round_robin_cases(workload, ["a", "b", "ab"], 2)
+        )
+        # Second pass: everything is cached, nothing translates.
+        for outcome in report.outcomes[3:]:
+            assert outcome.traces_translated == 0, outcome
+
+    def test_improvement_metric(self, driver):
+        workload = mini_workload()
+        report = driver.run_sequence(round_robin_cases(workload, ["a"], 2))
+        assert 0.0 < report.improvement_over_first_pass() < 1.0
+
+    def test_warmup_point(self, driver):
+        workload = mini_workload()
+        report = driver.run_sequence(round_robin_cases(workload, ["a"], 4))
+        warm = report.warmup_point()
+        assert warm is not None
+        assert warm <= 1
+
+    def test_without_persistence_no_improvement(self, tmp_path):
+        driver = RegressionDriver(
+            CacheDatabase(str(tmp_path / "db")), persistence_enabled=False
+        )
+        workload = mini_workload()
+        report = driver.run_sequence(round_robin_cases(workload, ["a"], 3))
+        cycles = report.cycles_by_test()
+        assert cycles[0] == pytest.approx(cycles[1]) == pytest.approx(cycles[2])
+        assert report.total_translations == 3 * report.outcomes[0].traces_translated
+
+    def test_exit_statuses_recorded(self, driver):
+        workload = mini_workload()
+        report = driver.run_sequence(round_robin_cases(workload, ["a"], 1))
+        assert report.outcomes[0].exit_status == 0
+
+    def test_with_tool(self, tmp_path):
+        driver = RegressionDriver(
+            CacheDatabase(str(tmp_path / "db")), tool_factory=CoverageTool
+        )
+        workload = mini_workload()
+        report = driver.run_sequence(round_robin_cases(workload, ["a"], 2))
+        assert report.outcomes[1].traces_translated == 0
+
+
+class TestOracleUnitTests:
+    def test_unit_test_sequence_improves(self, tmp_path):
+        """Two full Oracle regression tests: the second is much cheaper
+        (the paper's headline deployment)."""
+        driver = RegressionDriver(CacheDatabase(str(tmp_path / "db")))
+        oracle = build_oracle()
+        report = driver.run_sequence(
+            round_robin_cases(oracle, list(PHASES), rounds=2)
+        )
+        first_test = sum(report.cycles_by_test()[:5])
+        second_test = sum(report.cycles_by_test()[5:])
+        assert second_test < 0.6 * first_test
+        for outcome in report.outcomes[5:]:
+            assert outcome.traces_translated == 0

@@ -1,0 +1,146 @@
+"""Tests for trace selection semantics."""
+
+import pytest
+
+from repro.isa import instructions as ins
+from repro.isa.encoding import decode
+from repro.isa.instructions import INSTRUCTION_SIZE
+from repro.vm.trace import (
+    DEFAULT_MAX_TRACE_INSTS,
+    ExitKind,
+    TraceSelector,
+)
+
+
+def selector_for(code, base=0x1000, max_insts=DEFAULT_MAX_TRACE_INSTS):
+    """Build a TraceSelector over an in-memory instruction list."""
+
+    def fetch(pc):
+        index = (pc - base) // INSTRUCTION_SIZE
+        return code[index]
+
+    return TraceSelector(fetch, max_insts), base
+
+
+class TestTermination:
+    @pytest.mark.parametrize(
+        "terminator,kind",
+        [
+            (ins.jmp(0x4000), ExitKind.DIRECT),
+            (ins.call(0x4000), ExitKind.DIRECT),
+            (ins.jr(5), ExitKind.INDIRECT),
+            (ins.callr(5), ExitKind.INDIRECT),
+            (ins.ret(), ExitKind.INDIRECT),
+            (ins.syscall(), ExitKind.SYSCALL),
+            (ins.halt(), ExitKind.HALT),
+        ],
+    )
+    def test_terminators_end_trace(self, terminator, kind):
+        code = [ins.nop(), ins.nop(), terminator, ins.nop()]
+        selector, base = selector_for(code)
+        trace = selector.select(base)
+        assert len(trace.instructions) == 3
+        assert trace.exits[-1].kind == kind
+        assert trace.exits[-1].index == 2
+
+    def test_direct_exit_target(self):
+        code = [ins.jmp(0x4000)]
+        selector, base = selector_for(code)
+        trace = selector.select(base)
+        assert trace.exits[-1].target == 0x4000
+
+    def test_syscall_exit_resume_target(self):
+        code = [ins.nop(), ins.syscall()]
+        selector, base = selector_for(code)
+        trace = selector.select(base)
+        assert trace.exits[-1].target == base + 2 * INSTRUCTION_SIZE
+
+    def test_indirect_has_no_target(self):
+        code = [ins.ret()]
+        selector, base = selector_for(code)
+        assert selector.select(base).exits[-1].target is None
+
+
+class TestConditionalBranches:
+    def test_branch_does_not_end_trace(self):
+        code = [ins.bne(1, 2, 16), ins.nop(), ins.ret()]
+        selector, base = selector_for(code)
+        trace = selector.select(base)
+        assert len(trace.instructions) == 3
+
+    def test_branch_side_exit(self):
+        code = [ins.nop(), ins.bne(1, 2, 16), ins.ret()]
+        selector, base = selector_for(code)
+        trace = selector.select(base)
+        branch_exits = [e for e in trace.exits if e.kind == ExitKind.BRANCH_TAKEN]
+        assert len(branch_exits) == 1
+        exit_ = branch_exits[0]
+        assert exit_.index == 1
+        assert exit_.target == base + 2 * INSTRUCTION_SIZE + 16
+
+    def test_multiple_branches_in_order(self):
+        code = [ins.beq(1, 2, 8), ins.bne(3, 4, 8), ins.ret()]
+        selector, base = selector_for(code)
+        trace = selector.select(base)
+        kinds = [e.kind for e in trace.exits]
+        assert kinds == [ExitKind.BRANCH_TAKEN, ExitKind.BRANCH_TAKEN, ExitKind.INDIRECT]
+
+
+class TestLengthLimit:
+    def test_limit_produces_fallthrough(self):
+        code = [ins.nop()] * 40
+        selector, base = selector_for(code, max_insts=8)
+        trace = selector.select(base)
+        assert len(trace.instructions) == 8
+        final = trace.exits[-1]
+        assert final.kind == ExitKind.FALLTHROUGH
+        assert final.target == base + 8 * INSTRUCTION_SIZE
+
+    def test_limit_one(self):
+        code = [ins.nop(), ins.nop()]
+        selector, base = selector_for(code, max_insts=1)
+        trace = selector.select(base)
+        assert len(trace.instructions) == 1
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            TraceSelector(lambda pc: ins.nop(), max_trace_insts=0)
+
+    def test_branch_at_limit_keeps_both_exits(self):
+        code = [ins.nop(), ins.bne(1, 2, 8), ins.nop()]
+        selector, base = selector_for(code, max_insts=2)
+        trace = selector.select(base)
+        kinds = [e.kind for e in trace.exits]
+        assert kinds == [ExitKind.BRANCH_TAKEN, ExitKind.FALLTHROUGH]
+        assert trace.exits[-1].target == base + 2 * INSTRUCTION_SIZE
+
+
+class TestTraceProperties:
+    def test_addresses(self):
+        code = [ins.nop(), ins.nop(), ins.ret()]
+        selector, base = selector_for(code)
+        trace = selector.select(base)
+        assert trace.size == 3 * INSTRUCTION_SIZE
+        assert trace.end == base + trace.size
+        assert trace.address_of(1) == base + INSTRUCTION_SIZE
+        assert trace.instruction_addresses() == [base, base + 8, base + 16]
+
+    def test_image_attribution(self):
+        code = [ins.ret()]
+        selector, base = selector_for(code)
+        trace = selector.select(base, image_path="libx.so", image_base=0x900)
+        assert trace.image_path == "libx.so"
+        assert trace.image_base == 0x900
+
+    def test_uops_match_instructions(self):
+        code = [ins.addi(1, 1, 5), ins.ret()]
+        selector, base = selector_for(code)
+        trace = selector.select(base)
+        assert trace.uops == [inst.as_tuple() for inst in trace.instructions]
+
+    def test_layout_unaltered(self):
+        """Selection must not transform application instructions."""
+        code = [ins.addi(1, 1, 5), ins.bne(1, 2, -16), ins.ret()]
+        selector, base = selector_for(code)
+        trace = selector.select(base)
+        assert trace.instructions == code

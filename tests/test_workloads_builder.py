@@ -1,0 +1,150 @@
+"""Tests for the workload-construction DSL."""
+
+import random
+
+import pytest
+
+from repro.loader.linker import load_process
+from repro.machine.cpu import Machine, run_native
+from repro.workloads.builder import (
+    AppBuilder,
+    FeatureBlock,
+    InputSpec,
+    MAX_FEATURES,
+    WorkloadBuildError,
+    leaf_function,
+    loop_function,
+    nonleaf_function,
+)
+from repro.workloads.harness import Workload, run_native as run_native_wl
+from repro.workloads.harness import run_vm
+
+
+class TestInputSpec:
+    def test_mask_encoding_low_bits(self):
+        spec = InputSpec("x", features=frozenset({0, 3, 30}))
+        mask_lo, mask_hi, _ = spec.to_args()
+        assert mask_lo == (1 << 0) | (1 << 3) | (1 << 30)
+        assert mask_hi == 0
+
+    def test_mask_encoding_high_bits(self):
+        spec = InputSpec("x", features=frozenset({31, 61}))
+        mask_lo, mask_hi, _ = spec.to_args()
+        assert mask_lo == 0
+        assert mask_hi == (1 << 0) | (1 << 30)
+
+    def test_iterations_passed(self):
+        assert InputSpec("x", hot_iterations=321).to_args()[2] == 321
+
+    def test_out_of_range_feature(self):
+        with pytest.raises(WorkloadBuildError):
+            InputSpec("x", features=frozenset({MAX_FEATURES})).to_args()
+
+
+class TestFunctionGenerators:
+    def test_leaf_ends_with_ret(self):
+        fn = leaf_function(random.Random(1), 10)
+        assert len(fn.code) == 10
+        assert fn.code[-1].opcode.name == "RET"
+        assert not fn.symbol_refs
+
+    def test_leaf_minimum_size(self):
+        with pytest.raises(WorkloadBuildError):
+            leaf_function(random.Random(1), 1)
+
+    def test_leaf_deterministic(self):
+        a = leaf_function(random.Random(7), 12)
+        b = leaf_function(random.Random(7), 12)
+        assert a.code == b.code
+
+    def test_nonleaf_calls_each_callee(self):
+        fn = nonleaf_function(random.Random(1), 30, ["f", "g", "h"])
+        assert [sym for _i, sym in fn.symbol_refs] == ["f", "g", "h"]
+        assert len(fn.code) == 30
+
+    def test_nonleaf_spills_lr(self):
+        fn = nonleaf_function(random.Random(1), 20, ["f"])
+        names = [inst.opcode.name for inst in fn.code]
+        assert names[0] == "ADDI"  # sp adjust
+        assert names[1] == "ST"  # lr spill
+        assert names[-3] == "LD"  # lr restore
+        assert names[-1] == "RET"
+
+    def test_loop_function_shape(self):
+        fn = loop_function(random.Random(1), 5, ["f"], memory_ops=1,
+                           syscalls_per_iteration=1)
+        names = [inst.opcode.name for inst in fn.code]
+        assert "SYSCALL" in names
+        assert "BLT" in names
+        assert names[-1] == "RET"
+
+
+def tiny_app(seed=3):
+    app = AppBuilder("t", seed=seed)
+    app.add_init_block("boot", size=20, subfunctions=1)
+    app.add_feature(FeatureBlock(index=0, size=24, subfunctions=1))
+    app.add_feature(FeatureBlock(index=1, size=24, subfunctions=1))
+    app.set_hot_kernel(size=8, helpers=1, helper_size=4)
+    image = app.build()
+    inputs = {
+        "none": InputSpec("none", frozenset(), hot_iterations=5),
+        "f0": InputSpec("f0", frozenset({0}), hot_iterations=5),
+        "f01": InputSpec("f01", frozenset({0, 1}), hot_iterations=5),
+        "long": InputSpec("long", frozenset(), hot_iterations=500),
+    }
+    return Workload(name="t", image=image, inputs=inputs)
+
+
+class TestAppBuilder:
+    def test_runs_to_clean_exit(self):
+        result = run_native_wl(tiny_app(), "f01")
+        assert result.exit_status == 0
+
+    def test_feature_mask_controls_execution(self):
+        base = run_native_wl(tiny_app(), "none").instructions
+        one = run_native_wl(tiny_app(), "f0").instructions
+        two = run_native_wl(tiny_app(), "f01").instructions
+        assert base < one < two
+
+    def test_iterations_control_run_length(self):
+        short = run_native_wl(tiny_app(), "none").instructions
+        long = run_native_wl(tiny_app(), "long").instructions
+        assert long > short + 400 * 8
+
+    def test_deterministic_image(self):
+        assert tiny_app().image.content_digest() == tiny_app().image.content_digest()
+
+    def test_seed_changes_code(self):
+        assert (
+            tiny_app(seed=3).image.content_digest()
+            != tiny_app(seed=4).image.content_digest()
+        )
+
+    def test_duplicate_feature_rejected(self):
+        app = AppBuilder("t", seed=1)
+        app.add_feature(FeatureBlock(index=0))
+        with pytest.raises(WorkloadBuildError):
+            app.add_feature(FeatureBlock(index=0))
+
+    def test_feature_footprint_reflects_mask(self):
+        wl = tiny_app()
+        f0 = run_vm(wl, "f0").stats.trace_identities
+        f01 = run_vm(wl, "f01").stats.trace_identities
+        assert f0 < f01  # strict subset
+
+    def test_vm_native_equivalence(self):
+        wl = tiny_app()
+        nat = run_native_wl(wl, "f01")
+        vm = run_vm(wl, "f01")
+        assert vm.instructions == nat.instructions
+        assert vm.exit_status == nat.exit_status
+
+
+class TestWorkloadContainer:
+    def test_unknown_input(self):
+        with pytest.raises(KeyError):
+            tiny_app().input("missing")
+
+    def test_load(self):
+        process = tiny_app().load()
+        assert process.executable.path == "t"

@@ -1,0 +1,91 @@
+"""Tests for the shell-utility suite."""
+
+import pytest
+
+from repro.analysis.coverage import library_fraction
+from repro.persist.database import CacheDatabase
+from repro.persist.manager import PersistenceConfig
+from repro.workloads.harness import run_native, run_vm
+from repro.workloads.shell import SHELL_TOOLS, build_shell_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    tools, _store = build_shell_suite()
+    return tools
+
+
+class TestConstruction:
+    def test_six_tools(self, suite):
+        assert set(suite) == set(SHELL_TOOLS)
+
+    def test_all_link_against_libc(self, suite):
+        for tool in suite.values():
+            assert tool.image.needed == ["libc.so"]
+
+    def test_run_cleanly(self, suite):
+        for name, tool in suite.items():
+            assert run_native(tool, "run").exit_status == 0, name
+
+
+class TestColdCodeBehaviour:
+    def test_extreme_slowdowns(self, suite):
+        """Short-lived utilities are the worst case for a DBI engine."""
+        for name, tool in suite.items():
+            native = run_native(tool, "run")
+            vm = run_vm(tool, "run")
+            slowdown = vm.stats.total_cycles / native.cycles
+            assert slowdown > 40, (name, slowdown)
+
+    def test_libc_dominates_footprint(self, suite):
+        for name, tool in suite.items():
+            identities = run_vm(tool, "run").stats.trace_identities
+            assert library_fraction(identities) > 0.4, name
+
+    def test_footprints_overlap_but_differ(self, suite):
+        ls = run_vm(suite["ls"], "run").stats.trace_identities
+        cat = run_vm(suite["cat"], "run").stats.trace_identities
+        libc = lambda ids: {i for i in ids if i[0] == "libc.so"}
+        assert libc(ls) & libc(cat)  # shared libc functions
+        assert libc(ls) != libc(cat)  # but not identical subsets
+
+
+class TestPersistence:
+    def test_same_tool_reuse(self, suite, tmp_path):
+        db = CacheDatabase(str(tmp_path / "db"))
+        cold = run_vm(suite["grep"], "run",
+                      persistence=PersistenceConfig(database=db))
+        warm = run_vm(suite["grep"], "run",
+                      persistence=PersistenceConfig(database=db))
+        assert warm.stats.traces_translated == 0
+        assert warm.stats.total_cycles < 0.2 * cold.stats.total_cycles
+
+    def test_first_tool_warms_the_rest(self, suite, tmp_path):
+        """Inter-application persistence across shell utilities: running
+        `ls` once accelerates every other tool's first run."""
+        db = CacheDatabase(str(tmp_path / "db"))
+        run_vm(suite["ls"], "run", persistence=PersistenceConfig(database=db))
+        for name in ("cat", "cp", "grep", "wc", "touch"):
+            cold = run_vm(suite[name], "run")
+            crossed = run_vm(
+                suite[name], "run",
+                persistence=PersistenceConfig(
+                    database=db, inter_application=True, readonly=True
+                ),
+            )
+            gain = 1 - crossed.stats.total_cycles / cold.stats.total_cycles
+            assert gain > 0.25, (name, gain)
+            assert crossed.stats.traces_from_persistent > 0
+
+    def test_accumulation_across_tools(self, suite, tmp_path):
+        """A shared inter-app database converges: after every tool ran
+        once, reruns translate only their own app code... and after their
+        own run, nothing at all."""
+        db = CacheDatabase(str(tmp_path / "db"))
+        for name in suite:
+            run_vm(suite[name], "run",
+                   persistence=PersistenceConfig(database=db))
+        for name in suite:
+            warm = run_vm(suite[name], "run",
+                          persistence=PersistenceConfig(database=db))
+            assert warm.stats.traces_translated == 0, name

@@ -1,0 +1,223 @@
+"""Tests for the SPEC2K / GUI / Oracle workload suites.
+
+Suite-scale runs live in benchmarks/; these tests check construction,
+correct execution, and the *structural* properties the experiments rely
+on (coverage bands, library fractions, dependency sharing) on the
+fastest-to-run configurations.
+"""
+
+import pytest
+
+from repro.analysis.coverage import (
+    average_cross_coverage,
+    coverage_fraction,
+    library_fraction,
+)
+from repro.workloads.corpus import LibrarySpec, build_library, default_gui_corpus
+from repro.workloads.gui import (
+    COMMON_PREFIX,
+    GUI_APPS,
+    build_gui_suite,
+    common_library_matrix,
+)
+from repro.workloads.harness import run_native, run_vm
+from repro.workloads.oracle import (
+    PHASES,
+    build_oracle,
+    expected_coverage_matrix,
+    phase_features,
+)
+from repro.workloads.spec2k import (
+    SPEC2K_INT,
+    TRAIN_DIVISOR,
+    build_benchmark,
+    build_suite,
+)
+
+
+class TestCorpus:
+    def test_library_builds_and_exports(self):
+        spec = LibrarySpec("libfoo.so", n_funcs=8, func_size=12, seed=1)
+        image = build_library(spec)
+        exported = set(image.global_symbols())
+        assert set(spec.function_names()) <= exported
+        assert spec.init_symbol in exported
+
+    def test_library_deterministic(self):
+        spec = LibrarySpec("libfoo.so", n_funcs=8, func_size=12, seed=1)
+        assert build_library(spec).content_digest() == build_library(spec).content_digest()
+
+    def test_default_corpus_complete(self):
+        corpus = default_gui_corpus()
+        for app in GUI_APPS.values():
+            for dep in app.needed:
+                assert dep in corpus, dep
+
+
+class TestSpecSuite:
+    @pytest.fixture(scope="class")
+    def small_benchmarks(self):
+        return build_suite(("164.gzip", "253.perlbmk"))
+
+    def test_eon_omitted(self):
+        assert "252.eon" not in SPEC2K_INT
+        assert len(SPEC2K_INT) == 11
+
+    def test_train_is_shorter(self, small_benchmarks):
+        wl = small_benchmarks["164.gzip"]
+        ref = wl.input("ref-1")
+        train = wl.input("train")
+        assert train.hot_iterations == ref.hot_iterations // TRAIN_DIVISOR
+
+    def test_runs_cleanly(self, small_benchmarks):
+        for wl in small_benchmarks.values():
+            result = run_native(wl, "train")
+            assert result.exit_status == 0
+
+    def test_gzip_inputs_identical_coverage(self, small_benchmarks):
+        wl = small_benchmarks["164.gzip"]
+        feats = [wl.input("ref-%d" % i).features for i in (1, 2, 3)]
+        assert feats[0] == feats[1] == feats[2]
+
+    def test_perlbmk_inputs_differ(self, small_benchmarks):
+        wl = small_benchmarks["253.perlbmk"]
+        assert wl.input("ref-1").features != wl.input("ref-2").features
+
+    def test_gcc_has_largest_footprint(self):
+        gcc = SPEC2K_INT["176.gcc"]
+        gcc_static = gcc.n_features * gcc.feature_size
+        for name, params in SPEC2K_INT.items():
+            if name == "176.gcc":
+                continue
+            assert params.n_features * params.feature_size < gcc_static
+
+    def test_gcc_coverage_band(self):
+        """Table 3(a): gcc cross-input coverage between ~80 and <100%."""
+        wl = build_benchmark(SPEC2K_INT["176.gcc"])
+        footprints = {}
+        for index in range(1, 6):
+            name = "ref-%d" % index
+            footprints[name] = run_vm(wl, name).stats.trace_identities
+        for a in footprints:
+            for b in footprints:
+                cov = coverage_fraction(footprints[a], footprints[b])
+                if a == b:
+                    assert cov == 1.0
+                else:
+                    assert 0.75 <= cov < 1.0, (a, b, cov)
+
+
+class TestGuiSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return build_gui_suite()
+
+    def test_five_applications(self, suite):
+        apps, _store = suite
+        assert set(apps) == {"gftp", "gvim", "dia", "file-roller", "gqview"}
+
+    def test_common_prefix_shared(self, suite):
+        apps, _store = suite
+        for app in apps.values():
+            assert tuple(app.image.needed[: len(COMMON_PREFIX)]) == COMMON_PREFIX
+
+    def test_startup_runs_cleanly(self, suite):
+        apps, _store = suite
+        for app in apps.values():
+            assert run_native(app, "startup").exit_status == 0
+
+    def test_common_library_matrix_table2(self, suite):
+        apps, _store = suite
+        matrix = common_library_matrix(apps)
+        for a in matrix:
+            assert matrix[a][a] == len(apps[a].image.needed)
+            for b in matrix:
+                # Table 2: every pair shares at least the toolkit prefix.
+                assert matrix[a][b] >= len(COMMON_PREFIX)
+                assert matrix[a][b] == matrix[b][a]
+
+    def test_library_dominates_startup_footprint(self, suite):
+        """Table 1: 75%+ of startup code is library code."""
+        apps, _store = suite
+        for name, app in apps.items():
+            identities = run_vm(app, "startup").stats.trace_identities
+            fraction = library_fraction(identities)
+            assert fraction > 0.7, (name, fraction)
+            if name != "gvim":
+                assert fraction > 0.8, (name, fraction)
+
+    def test_gvim_has_most_app_code(self, suite):
+        apps, _store = suite
+        fractions = {
+            name: library_fraction(run_vm(app, "startup").stats.trace_identities)
+            for name, app in apps.items()
+        }
+        assert min(fractions, key=fractions.get) == "gvim"
+
+    def test_file_roller_emulates_signals(self, suite):
+        apps, _store = suite
+        result = run_vm(apps["file-roller"], "startup")
+        assert result.stats.signals_emulated > 0
+        others = run_vm(apps["gftp"], "startup")
+        assert others.stats.signals_emulated == 0
+
+
+class TestOracle:
+    @pytest.fixture(scope="class")
+    def oracle(self):
+        return build_oracle()
+
+    def test_five_phases(self, oracle):
+        assert set(oracle.inputs) == set(PHASES)
+
+    def test_phases_run_cleanly(self, oracle):
+        for phase in PHASES:
+            assert run_native(oracle, phase).exit_status == 0
+
+    def test_block_model_matches_measurement(self, oracle):
+        """The predicted coverage matrix must match measured coverage."""
+        predicted = expected_coverage_matrix()
+        footprints = {
+            phase: run_vm(oracle, phase).stats.trace_identities
+            for phase in PHASES
+        }
+        for a in PHASES:
+            for b in PHASES:
+                measured = coverage_fraction(footprints[a], footprints[b])
+                assert measured == pytest.approx(predicted[a][b], abs=0.12), (
+                    a, b, measured, predicted[a][b],
+                )
+
+    def test_table3b_shape(self, oracle):
+        """Start isolated; Open dominant; Close mostly covered by Open."""
+        footprints = {
+            phase: run_vm(oracle, phase).stats.trace_identities
+            for phase in PHASES
+        }
+        cov = lambda a, b: coverage_fraction(footprints[a], footprints[b])
+        # Start's code is poorly covered by every other phase.
+        for other in ("Mount", "Open", "Work", "Close"):
+            assert cov(other, "Start") < 0.5
+        # Open covers Close best of all phases (paper: 91%).
+        assert cov("Close", "Open") > 0.75
+        assert cov("Close", "Open") == max(
+            cov("Close", other) for other in PHASES if other != "Close"
+        )
+
+    def test_average_coverage_low(self, oracle):
+        """Figure 4: Oracle has the lowest inter-execution coverage."""
+        footprints = {
+            phase: run_vm(oracle, phase).stats.trace_identities
+            for phase in PHASES
+        }
+        average = average_cross_coverage(footprints)
+        assert 0.3 < average < 0.7
+
+    def test_syscall_heavy(self, oracle):
+        result = run_vm(oracle, "Work")
+        assert result.stats.syscalls_emulated > 500
+
+    def test_phase_features_distinct(self):
+        assert phase_features("Start") != phase_features("Open")
+        for phase in PHASES:
+            assert phase_features(phase)
