@@ -1,0 +1,23 @@
+# Convenience entry points.  All targets run against the in-tree sources.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+# Persistent-cache database directory for `make fsck` (override: make fsck DB=...)
+DB ?= /tmp/pcc-db
+
+.PHONY: test faultinject benchmarks fsck
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# The crash-consistency / fault-injection suite alone.
+faultinject:
+	$(PYTHON) -m pytest -q -m faultinject tests
+
+benchmarks:
+	$(PYTHON) -m pytest -q benchmarks
+
+# Check a persistent-cache database's integrity section by section.
+fsck:
+	$(PYTHON) -m repro.cli cache fsck $(DB)

@@ -66,6 +66,23 @@ def fresh_db(tmp_path_factory, label: str) -> CacheDatabase:
     return CacheDatabase(str(tmp_path_factory.mktemp("pccdb-" + label)))
 
 
+def assert_healthy_persistence(result, context=""):
+    """A measurement run must never have taken the degradation path.
+
+    The storage layer downgrades to JIT-only on any fault rather than
+    crashing (docs/cache-format.md), which would silently corrupt a
+    regenerated figure: the run completes with plausible-looking but
+    cache-less cycle counts.  Every persisted measurement asserts the
+    fault path stayed cold.
+    """
+    report = result.persistence_report
+    assert report["fallback_jit_only"] is False, (
+        context, report["degraded_reason"]
+    )
+    assert report["cache_quarantined"] == 0, context
+    assert report["storage_errors"] == 0, context
+
+
 def cold_and_warm(workload, input_name, db, tool_factory=None, layout=None):
     """Run twice with persistence: (cold run, fully warm run)."""
     cold = run_vm(

@@ -6,7 +6,12 @@ execution.  Regenerates all three clusters: SPEC2K INT (Train and
 Reference inputs), GUI startup, and the Oracle phases.
 """
 
-from conftest import baseline_vm, cold_and_warm, fresh_db
+from conftest import (
+    assert_healthy_persistence,
+    baseline_vm,
+    cold_and_warm,
+    fresh_db,
+)
 
 from repro.analysis.overhead import improvement_percent
 from repro.analysis.report import format_table
@@ -15,8 +20,10 @@ from repro.workloads.oracle import PHASES
 
 def _same_input_gain(workload, input_name, db):
     base = baseline_vm(workload, input_name)
-    _cold, warm = cold_and_warm(workload, input_name, db)
+    cold, warm = cold_and_warm(workload, input_name, db)
     assert warm.stats.traces_translated == 0, (workload.name, input_name)
+    assert_healthy_persistence(cold, (workload.name, input_name, "cold"))
+    assert_healthy_persistence(warm, (workload.name, input_name, "warm"))
     return improvement_percent(base.stats.total_cycles, warm.stats.total_cycles)
 
 

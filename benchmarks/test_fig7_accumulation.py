@@ -8,7 +8,7 @@ progressively for Oracle (low coverage, so each phase contributes
 meaningful new code).
 """
 
-from conftest import baseline_vm, fresh_db
+from conftest import assert_healthy_persistence, baseline_vm, fresh_db
 
 from repro.analysis.report import format_table
 from repro.persist.manager import PersistenceConfig
@@ -27,6 +27,7 @@ def _accumulation_row(workload, target, donors, tmp_path_factory):
             workload, target,
             persistence=PersistenceConfig(database=db, readonly=True),
         )
+        assert_healthy_persistence(measured, (workload.name, target, donor))
         times["set-%d" % set_index] = measured.stats.total_cycles
     same_db = fresh_db(tmp_path_factory, "%s-%s-same" % (workload.name, target))
     run_vm(workload, target, persistence=PersistenceConfig(database=same_db))
@@ -34,6 +35,7 @@ def _accumulation_row(workload, target, donors, tmp_path_factory):
         workload, target,
         persistence=PersistenceConfig(database=same_db, readonly=True),
     )
+    assert_healthy_persistence(same, (workload.name, target, "same-input"))
     times["same-input"] = same.stats.total_cycles
     return times
 

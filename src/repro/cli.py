@@ -11,6 +11,8 @@ Usage::
     python -m repro timeline spec 176.gcc ref-1
     python -m repro pcache list /tmp/db
     python -m repro pcache show /tmp/db --index 0
+    python -m repro cache fsck /tmp/db
+    python -m repro cache fsck /tmp/db --quarantine
     python -m repro disasm path/to/image.sbf
 
 ``run`` executes a workload input natively or under the DBI engine
@@ -212,6 +214,40 @@ def cmd_pcache_show(args) -> int:
     return 0
 
 
+def cmd_cache_fsck(args) -> int:
+    """``repro cache fsck``: validate every cache file section by section.
+
+    Exit code 0 when the database is fully healthy, 1 when any damage,
+    orphan, or interrupted write was found.  ``--quarantine`` moves
+    damaged indexed files into the ``quarantine/`` subdirectory (never
+    deletes them) and drops them from the index.
+    """
+    db = CacheDatabase(args.directory)
+    for kind, filename, reason in db.events:
+        # Damage found while merely opening the database (corrupt index).
+        print("%-12s %s: %s" % (kind, filename, reason))
+    report = db.fsck(quarantine=args.quarantine)
+    if not report.items and not db.events:
+        print("(empty database: nothing to check)")
+        return 0
+    rows = [
+        {
+            "file": item.filename,
+            "status": item.status,
+            "section": item.section or "-",
+            "detail": item.detail or "-",
+        }
+        for item in report.items
+    ]
+    if rows:
+        print(format_table(rows, columns=["file", "status", "section", "detail"]))
+    for filename in report.quarantined:
+        print("quarantined: %s" % filename)
+    healthy = report.clean and not db.events
+    print("fsck: %s" % ("clean" if healthy else "damage found"))
+    return 0 if healthy else 1
+
+
 def cmd_disasm(args) -> int:
     """``repro disasm``: disassemble an SBF image's .text."""
     image = Image.load(args.image)
@@ -276,6 +312,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("directory")
     sub.add_argument("--index", type=int, default=0)
     sub.set_defaults(func=cmd_pcache_show)
+
+    cache = subparsers.add_parser(
+        "cache", help="maintain persistent cache databases"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    sub = cache_sub.add_parser(
+        "fsck", help="check database integrity (per-section checksums)"
+    )
+    sub.add_argument("directory")
+    sub.add_argument("--quarantine", action="store_true",
+                     help="move damaged files aside and drop them from "
+                          "the index (never deletes)")
+    sub.set_defaults(func=cmd_cache_fsck)
 
     sub = subparsers.add_parser("disasm", help="disassemble an SBF image")
     sub.add_argument("image")

@@ -6,13 +6,20 @@ from repro.persist.cachefile import (
     PersistedReloc,
     PersistedTrace,
     PersistentCache,
+    verify_sections,
 )
+from repro.persist.storage import FileStorage, StorageError
 from repro.persist.convert import (
     ConversionError,
     persist_trace,
     revive_trace,
 )
-from repro.persist.database import CacheDatabase, CacheEntry
+from repro.persist.database import (
+    CacheDatabase,
+    CacheEntry,
+    FsckItem,
+    FsckReport,
+)
 from repro.persist.keys import (
     MappingKey,
     cache_lookup_digest,
@@ -36,6 +43,9 @@ __all__ = [
     "CacheEntry",
     "CacheFileError",
     "ConversionError",
+    "FileStorage",
+    "FsckItem",
+    "FsckReport",
     "MappingKey",
     "PersistedExit",
     "PersistedReloc",
@@ -45,6 +55,7 @@ __all__ = [
     "PersistentCache",
     "PersistentCacheSession",
     "PretranslationResult",
+    "StorageError",
     "cache_lookup_digest",
     "mapping_key",
     "persist_trace",
@@ -52,5 +63,6 @@ __all__ = [
     "pretranslate_process",
     "revive_trace",
     "tool_key",
+    "verify_sections",
     "vm_key",
 ]

@@ -12,9 +12,29 @@ The file holds two pools, mirroring the in-memory separation (§3.2.2):
   same byte sizes the in-memory translator accounts, so Figure 9's
   code-vs-data comparison measures real file bytes.
 
-A JSON directory up front records the keys (per-mapping, VM, tool) and the
-per-trace index: entry address, owning image + offset (so the
-position-independent extension can rebase), exits, and pool offsets.
+Format version 2 frames the file as four independently checksummed
+sections so damage is localized and reported precisely (see
+``docs/cache-format.md``):
+
+```
+offset  size  field
+0       4     magic "PCC2"
+4       2     u16 format_version
+6       2     u16 feature_flags
+8       4     u32 header_len
+12      4     u32 CRC-32 of the header JSON
+16      n     header JSON (keys, metadata, section table)
+16+n    d     trace-directory JSON
+...           code pool
+...           data pool
+end-4   4     u32 CRC-32 of bytes [0, end-4)   (whole-file check)
+```
+
+The header's section table records ``[size, crc32]`` for the directory,
+code pool and data pool; sections are laid out in that order immediately
+after the header.  Any mismatch raises :class:`CacheFileError` whose
+``section`` attribute names the damaged section — the database layer uses
+it to quarantine the file and report where the damage was.
 
 Trace identity for accumulation is ``(image_path, image_offset)`` — stable
 across runs even if a library's base changes.
@@ -29,9 +49,28 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.persist.keys import MappingKey
+from repro.persist.storage import DEFAULT_STORAGE, FileStorage
 
-MAGIC = b"PCC1"
-FORMAT_VERSION = 1
+MAGIC = b"PCC2"
+#: Magic of the retired version-1 framing; recognized only so its files
+#: get the precise "unsupported format version" incompatibility path
+#: (quarantine + JIT-only run) instead of a generic bad-magic error.
+LEGACY_MAGIC = b"PCC1"
+FORMAT_VERSION = 2
+
+#: Fixed-size binary preamble: magic, version, feature flags, header
+#: length, header CRC.
+PREAMBLE = struct.Struct("<4sHHII")
+
+#: Feature-flag bits.  A reader must reject a file carrying any flag bit
+#: it does not understand: flags mark format extensions that change how
+#: the payload must be interpreted.
+FEATURE_RELOCATABLE = 0x0001
+SUPPORTED_FEATURES = FEATURE_RELOCATABLE
+
+#: Section names used in error attribution and fsck reports, in file
+#: order.
+SECTIONS = ("header", "directory", "code_pool", "data_pool")
 
 # Fixed record sizes inside the data pool (bytes); these match the
 # translator's accounting in repro.vm.translator.
@@ -43,7 +82,20 @@ LINK_RECORD_BYTES = 56
 
 
 class CacheFileError(Exception):
-    """Raised when a persistent cache file is malformed."""
+    """Raised when a persistent cache file is malformed.
+
+    ``section`` names where the damage was detected: one of
+    :data:`SECTIONS`, ``"preamble"`` or ``"trailer"`` (framing damage),
+    or ``""`` when no section can be attributed.
+    """
+
+    def __init__(self, message: str, section: str = ""):
+        super().__init__(message)
+        self.section = section
+
+
+def _crc(blob: bytes) -> int:
+    return zlib.crc32(blob) & 0xFFFFFFFF
 
 
 @dataclass
@@ -161,6 +213,118 @@ class PersistedTrace:
 
 
 @dataclass
+class _Frame:
+    """The parsed and checksum-verified sections of a cache file."""
+
+    feature_flags: int
+    header: dict
+    directory: list
+    code_pool: bytes
+    data_pool: bytes
+
+
+def _parse_frame(blob: bytes) -> _Frame:
+    """Split ``blob`` into verified sections, attributing any damage."""
+    if len(blob) < PREAMBLE.size + 4:
+        raise CacheFileError("file too short for preamble", section="preamble")
+    magic = blob[:4]
+    if magic != MAGIC:
+        if magic == LEGACY_MAGIC:
+            raise CacheFileError(
+                "unsupported format version 1 (legacy PCC1 file)",
+                section="header",
+            )
+        raise CacheFileError("bad magic", section="preamble")
+    _, version, flags, header_len, header_crc = PREAMBLE.unpack_from(blob, 0)
+    if version != FORMAT_VERSION:
+        raise CacheFileError(
+            "unsupported format version %r" % version, section="header"
+        )
+    if flags & ~SUPPORTED_FEATURES:
+        raise CacheFileError(
+            "unsupported feature flags 0x%04x" % (flags & ~SUPPORTED_FEATURES),
+            section="header",
+        )
+
+    # Whole-file trailer first for a quick integrity gate?  No: section
+    # checks run first so a single flipped byte is attributed to the
+    # section holding it, not to an anonymous whole-file mismatch.
+    header_start = PREAMBLE.size
+    header_end = header_start + header_len
+    if header_end + 4 > len(blob):
+        raise CacheFileError("truncated header", section="header")
+    header_blob = blob[header_start:header_end]
+    if _crc(header_blob) != header_crc:
+        raise CacheFileError("header checksum mismatch", section="header")
+    try:
+        header = json.loads(header_blob)
+    except ValueError as exc:
+        raise CacheFileError("bad header JSON", section="header") from exc
+    if not isinstance(header, dict):
+        raise CacheFileError("bad header JSON", section="header")
+
+    sections = header.get("sections")
+    if not isinstance(sections, dict):
+        raise CacheFileError("missing section table", section="header")
+    offset = header_end
+    payloads: Dict[str, bytes] = {}
+    for name in ("directory", "code_pool", "data_pool"):
+        try:
+            size, crc = sections[name]
+            size = int(size)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CacheFileError(
+                "bad section table entry for %s" % name, section="header"
+            ) from exc
+        if size < 0 or offset + size + 4 > len(blob):
+            raise CacheFileError("truncated %s section" % name, section=name)
+        payload = blob[offset : offset + size]
+        if _crc(payload) != crc:
+            raise CacheFileError("%s checksum mismatch" % name, section=name)
+        payloads[name] = payload
+        offset += size
+    if offset != len(blob) - 4:
+        raise CacheFileError("trailing garbage after data pool", section="trailer")
+    (file_crc,) = struct.unpack_from("<I", blob, len(blob) - 4)
+    if _crc(blob[:-4]) != file_crc:
+        raise CacheFileError("whole-file checksum mismatch", section="trailer")
+
+    try:
+        directory = json.loads(payloads["directory"])
+    except ValueError as exc:
+        raise CacheFileError("bad directory JSON", section="directory") from exc
+    if not isinstance(directory, list):
+        raise CacheFileError("bad directory JSON", section="directory")
+    return _Frame(
+        feature_flags=flags,
+        header=header,
+        directory=directory,
+        code_pool=payloads["code_pool"],
+        data_pool=payloads["data_pool"],
+    )
+
+
+def verify_sections(blob: bytes) -> Dict[str, str]:
+    """Best-effort per-section status of a raw cache blob, for fsck.
+
+    Returns ``{section: ""}`` for healthy sections and ``{section:
+    reason}`` for damaged ones; framing damage appears under
+    ``"preamble"``/``"trailer"``.
+    """
+    status: Dict[str, str] = {}
+    try:
+        _parse_frame(blob)
+    except CacheFileError as exc:
+        status[exc.section or "preamble"] = str(exc)
+    else:
+        try:
+            PersistentCache.from_bytes(blob)
+        except CacheFileError as exc:
+            status[exc.section or "directory"] = str(exc)
+    return status
+
+
+@dataclass
 class PersistentCache:
     """An in-memory view of a persistent cache file."""
 
@@ -171,6 +335,9 @@ class PersistentCache:
     traces: List[PersistedTrace] = field(default_factory=list)
     #: Creation generation: bumped on every accumulation write-back.
     generation: int = 0
+    #: Format feature bits this cache was written with (see
+    #: :data:`SUPPORTED_FEATURES`).
+    feature_flags: int = 0
 
     # -- inventory ---------------------------------------------------------
 
@@ -236,6 +403,9 @@ class PersistentCache:
             code_pool.extend(trace.code)
             data_pool.extend(trace.build_data_blob())
             directory.append(trace.to_json(code_offset, data_offset))
+        directory_blob = json.dumps(directory, sort_keys=True).encode()
+        code_blob = bytes(code_pool)
+        data_blob = bytes(data_pool)
         header = {
             "format_version": FORMAT_VERSION,
             "vm_version": self.vm_version,
@@ -245,93 +415,111 @@ class PersistentCache:
             "image_keys": {
                 path: key.to_json() for path, key in self.image_keys.items()
             },
-            "traces": directory,
-            "code_pool_size": len(code_pool),
-            "data_pool_size": len(data_pool),
+            "sections": {
+                "directory": [len(directory_blob), _crc(directory_blob)],
+                "code_pool": [len(code_blob), _crc(code_blob)],
+                "data_pool": [len(data_blob), _crc(data_blob)],
+            },
         }
         header_blob = json.dumps(header, sort_keys=True).encode()
         body = b"".join(
             [
-                MAGIC,
-                struct.pack("<I", len(header_blob)),
+                PREAMBLE.pack(
+                    MAGIC,
+                    FORMAT_VERSION,
+                    self.feature_flags & 0xFFFF,
+                    len(header_blob),
+                    _crc(header_blob),
+                ),
                 header_blob,
-                bytes(code_pool),
-                bytes(data_pool),
+                directory_blob,
+                code_blob,
+                data_blob,
             ]
         )
-        return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+        return body + struct.pack("<I", _crc(body))
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "PersistentCache":
-        if len(blob) < len(MAGIC) + 8 or blob[: len(MAGIC)] != MAGIC:
-            raise CacheFileError("bad magic")
-        body, (crc,) = blob[:-4], struct.unpack("<I", blob[-4:])
-        if zlib.crc32(body) & 0xFFFFFFFF != crc:
-            raise CacheFileError("checksum mismatch")
-        (header_len,) = struct.unpack_from("<I", blob, len(MAGIC))
-        header_start = len(MAGIC) + 4
+        frame = _parse_frame(blob)
+        header = frame.header
         try:
-            header = json.loads(blob[header_start : header_start + header_len])
-        except ValueError as exc:
-            raise CacheFileError("bad header JSON") from exc
-        if header.get("format_version") != FORMAT_VERSION:
+            cache = cls(
+                vm_version=header["vm_version"],
+                tool_identity=header["tool_identity"],
+                app_path=header["app_path"],
+                generation=header.get("generation", 0),
+                feature_flags=frame.feature_flags,
+            )
+            cache.image_keys = {
+                path: MappingKey.from_json(data)
+                for path, data in header["image_keys"].items()
+            }
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
             raise CacheFileError(
-                "unsupported format version %r" % header.get("format_version")
-            )
-        cache = cls(
-            vm_version=header["vm_version"],
-            tool_identity=header["tool_identity"],
-            app_path=header["app_path"],
-            generation=header.get("generation", 0),
-        )
-        cache.image_keys = {
-            path: MappingKey.from_json(data)
-            for path, data in header["image_keys"].items()
-        }
-        code_start = header_start + header_len
-        data_start = code_start + header["code_pool_size"]
-        for record in header["traces"]:
-            if (
-                record["code_offset"] < 0
-                or record["code_size"] < 0
-                or record["data_size"] < 0
-                or record["n_insts"] < 1
-                or record["code_offset"] + record["code_size"]
-                > header["code_pool_size"]
-            ):
-                raise CacheFileError("trace directory record out of bounds")
-            code_offset = code_start + record["code_offset"]
-            code = blob[code_offset : code_offset + record["code_size"]]
-            if len(code) != record["code_size"]:
-                raise CacheFileError("truncated code pool")
-            cache.traces.append(
-                PersistedTrace(
-                    entry=record["entry"],
-                    image_path=record["image_path"],
-                    image_offset=record["image_offset"],
-                    n_insts=record["n_insts"],
-                    code=code,
-                    exits=[PersistedExit.from_json(e) for e in record["exits"]],
-                    relocs=[PersistedReloc.from_json(r) for r in record["relocs"]],
-                    data_size=record["data_size"],
-                    liveness=list(record["liveness"]),
+                "malformed header fields: %s" % exc, section="header"
+            ) from exc
+
+        code_pool = frame.code_pool
+        data_pool = frame.data_pool
+        try:
+            for record in frame.directory:
+                if (
+                    record["code_offset"] < 0
+                    or record["code_size"] < 0
+                    or record["data_size"] < 0
+                    or record["n_insts"] < 1
+                    or record["code_offset"] + record["code_size"]
+                    > len(code_pool)
+                ):
+                    raise CacheFileError(
+                        "trace directory record out of bounds",
+                        section="directory",
+                    )
+                code = code_pool[
+                    record["code_offset"]
+                    : record["code_offset"] + record["code_size"]
+                ]
+                if len(code) != record["code_size"]:
+                    raise CacheFileError(
+                        "truncated code pool", section="code_pool"
+                    )
+                cache.traces.append(
+                    PersistedTrace(
+                        entry=record["entry"],
+                        image_path=record["image_path"],
+                        image_offset=record["image_offset"],
+                        n_insts=record["n_insts"],
+                        code=code,
+                        exits=[PersistedExit.from_json(e) for e in record["exits"]],
+                        relocs=[PersistedReloc.from_json(r) for r in record["relocs"]],
+                        data_size=record["data_size"],
+                        liveness=list(record["liveness"]),
+                    )
                 )
-            )
+        except CacheFileError:
+            raise
+        except (KeyError, TypeError, ValueError, IndexError, struct.error) as exc:
+            # Shield callers from serialization internals: any shape error
+            # in the directory is a typed cache-file error.
+            raise CacheFileError(
+                "malformed trace directory: %s" % exc, section="directory"
+            ) from exc
         # Sanity: the data pool must be exactly the directory's total.
         expected_data = sum(t.data_size for t in cache.traces)
-        actual_data = len(blob) - 4 - data_start
-        if actual_data != header["data_pool_size"] or expected_data != actual_data:
-            raise CacheFileError("data pool size mismatch")
+        if expected_data != len(data_pool):
+            raise CacheFileError("data pool size mismatch", section="data_pool")
         return cache
 
-    def save(self, path: str) -> None:
-        with open(path, "wb") as handle:
-            handle.write(self.to_bytes())
+    def save(self, path: str, storage: Optional[FileStorage] = None) -> None:
+        """Atomically write-replace the file at ``path``."""
+        (storage or DEFAULT_STORAGE).write_atomic(path, self.to_bytes())
 
     @classmethod
-    def load(cls, path: str) -> "PersistentCache":
-        with open(path, "rb") as handle:
-            return cls.from_bytes(handle.read())
+    def load(
+        cls, path: str, storage: Optional[FileStorage] = None
+    ) -> "PersistentCache":
+        return cls.from_bytes((storage or DEFAULT_STORAGE).read_bytes(path))
 
     @property
     def file_size(self) -> int:

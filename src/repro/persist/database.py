@@ -14,19 +14,40 @@ Two lookup modes exist:
   several candidates exist the caller can pick (the evaluation primes with
   a specific donor application); the default picks the largest cache,
   which maximizes the library code available for reuse.
+
+Crash consistency and damage containment (``docs/cache-format.md``):
+
+* every write (cache files and the index) is an atomic write-replace
+  through the storage seam — readers never observe a torn file;
+* ``store`` holds an advisory lock and re-reads the index inside it, so
+  concurrent sessions accumulating into one database serialize their
+  read-modify-write and never lose each other's entries;
+* a cache file that fails validation is **quarantined** — moved into the
+  ``quarantine/`` subdirectory (never deleted), dropped from the index,
+  and recorded in :attr:`CacheDatabase.events` so the session can report
+  it — and the lookup behaves as a clean miss;
+* a corrupt index resets to empty after quarantining the damaged file;
+  orphaned cache files are re-discoverable via :meth:`fsck`.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from repro.persist.cachefile import PersistentCache
+from repro.persist.cachefile import (
+    CacheFileError,
+    PersistentCache,
+    verify_sections,
+)
 from repro.persist.keys import MappingKey, tool_key, vm_key
+from repro.persist.storage import FileStorage, TMP_SUFFIX
 
 INDEX_NAME = "index.json"
+LOCK_NAME = "index.lock"
+QUARANTINE_DIR = "quarantine"
 
 
 @dataclass(frozen=True)
@@ -42,40 +63,111 @@ class CacheEntry:
     file_size: int
 
 
+@dataclass
+class FsckItem:
+    """Health of one database file, as reported by :meth:`fsck`."""
+
+    filename: str
+    status: str  # "ok" | "missing" | "corrupt" | "orphan" | "stale-tmp"
+    section: str = ""
+    detail: str = ""
+
+
+@dataclass
+class FsckReport:
+    """Result of a database consistency check."""
+
+    items: List[FsckItem] = field(default_factory=list)
+    quarantined: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return all(item.status == "ok" for item in self.items)
+
+
 class CacheDatabase:
     """Filesystem-backed store of persistent caches.
 
-    The index is re-read at construction and written on every store; the
-    database is safe for the evaluation's sequential use (one VM process
-    at a time, as in the paper's experiments).  Concurrent writers from
-    multiple simultaneous VM processes would need external locking.
+    The index is re-read at construction and, under an advisory lock,
+    on every store; all writes are atomic write-replaces.  Damaged files
+    are quarantined, never deleted, and every such event is appended to
+    :attr:`events` as ``(kind, filename, reason)`` tuples.
     """
 
-    def __init__(self, directory: str):
+    def __init__(self, directory: str, storage: Optional[FileStorage] = None):
         self.directory = directory
-        os.makedirs(directory, exist_ok=True)
+        self.storage = storage or FileStorage()
+        self.storage.makedirs(directory)
         self._index_path = os.path.join(directory, INDEX_NAME)
+        self._lock_path = os.path.join(directory, LOCK_NAME)
         self._entries: List[CacheEntry] = []
+        #: (kind, filename, reason) records of quarantine/recovery events.
+        self.events: List[tuple] = []
         self._load_index()
 
     # -- index maintenance --------------------------------------------------
 
     def _load_index(self) -> None:
-        if not os.path.exists(self._index_path):
+        if not self.storage.exists(self._index_path):
             self._entries = []
             return
-        with open(self._index_path) as handle:
-            raw = json.load(handle)
-        self._entries = [CacheEntry(**row) for row in raw]
+        try:
+            raw = json.loads(self.storage.read_bytes(self._index_path))
+            entries = [CacheEntry(**row) for row in raw]
+        except (ValueError, TypeError, KeyError, OSError) as exc:
+            # A torn or garbage index must not take the database down:
+            # quarantine it and start empty.  Cache files referenced by
+            # the lost index stay on disk; ``fsck`` reports them as
+            # orphans.
+            self._quarantine(INDEX_NAME, "corrupt index: %s" % exc)
+            self._entries = []
+            return
+        self._entries = entries
 
     def _save_index(self) -> None:
-        with open(self._index_path, "w") as handle:
-            json.dump(
-                [entry.__dict__ for entry in self._entries], handle, indent=1
-            )
+        blob = json.dumps(
+            [entry.__dict__ for entry in self._entries], indent=1
+        ).encode()
+        self.storage.write_atomic(self._index_path, blob)
 
     def entries(self) -> List[CacheEntry]:
         return list(self._entries)
+
+    # -- quarantine ---------------------------------------------------------
+
+    def _quarantine(self, filename: str, reason: str) -> None:
+        """Move a damaged file aside — never delete possible evidence."""
+        source = os.path.join(self.directory, filename)
+        quarantine_dir = os.path.join(self.directory, QUARANTINE_DIR)
+        try:
+            self.storage.makedirs(quarantine_dir)
+            destination = os.path.join(quarantine_dir, filename)
+            serial = 0
+            while self.storage.exists(destination):
+                serial += 1
+                destination = os.path.join(
+                    quarantine_dir, "%s.%d" % (filename, serial)
+                )
+            if self.storage.exists(source):
+                self.storage.rename(source, destination)
+        except OSError as exc:
+            # Quarantine is best-effort: a failing move must not turn a
+            # contained corruption into a crash.
+            reason = "%s (quarantine move failed: %s)" % (reason, exc)
+        self.events.append(("quarantine", filename, reason))
+
+    def _drop_entry(self, entry: CacheEntry) -> None:
+        self._entries = [row for row in self._entries if row is not entry]
+        try:
+            self._save_index()
+        except OSError:
+            # The in-memory view is already consistent; a failed index
+            # write only delays the cleanup to the next successful store.
+            pass
+
+    @property
+    def quarantined_count(self) -> int:
+        return sum(1 for kind, _, _ in self.events if kind == "quarantine")
 
     # -- store ----------------------------------------------------------------
 
@@ -88,7 +180,10 @@ class CacheDatabase:
 
         A cache with the same key triple replaces the previous file (this
         is how accumulation persists: the manager loads, accumulates, and
-        stores back under the same keys).
+        stores back under the same keys).  The file lands via atomic
+        write-replace; the index merge happens under the database lock
+        with a fresh re-read, so two concurrent sessions storing different
+        entries both survive.
         """
         app_digest = app_key.digest
         vm_digest = vm_key(cache.vm_version)
@@ -99,8 +194,6 @@ class CacheDatabase:
             tool_digest[:8],
         )
         blob = cache.to_bytes()
-        with open(os.path.join(self.directory, filename), "wb") as handle:
-            handle.write(blob)
         entry = CacheEntry(
             app_digest=app_digest,
             vm_digest=vm_digest,
@@ -110,14 +203,20 @@ class CacheDatabase:
             trace_count=len(cache.traces),
             file_size=len(blob),
         )
-        self._entries = [
-            existing
-            for existing in self._entries
-            if (existing.app_digest, existing.vm_digest, existing.tool_digest)
-            != (app_digest, vm_digest, tool_digest)
-        ]
-        self._entries.append(entry)
-        self._save_index()
+        with self.storage.lock(self._lock_path):
+            self.storage.write_atomic(
+                os.path.join(self.directory, filename), blob
+            )
+            # Merge with entries other sessions stored since we last read.
+            self._load_index()
+            self._entries = [
+                existing
+                for existing in self._entries
+                if (existing.app_digest, existing.vm_digest, existing.tool_digest)
+                != (app_digest, vm_digest, tool_digest)
+            ]
+            self._entries.append(entry)
+            self._save_index()
         return entry
 
     # -- lookup -----------------------------------------------------------------
@@ -128,7 +227,7 @@ class CacheDatabase:
         vm_version: str,
         tool_identity: str,
     ) -> Optional[PersistentCache]:
-        """Exact (app, VM, tool) lookup."""
+        """Exact (app, VM, tool) lookup; a damaged file reads as a miss."""
         app_digest = app_key.digest
         vm_digest = vm_key(vm_version)
         tool_digest = tool_key(tool_identity)
@@ -157,6 +256,9 @@ class CacheDatabase:
                 force *inter*-application reuse in experiments).
             select: Optional policy choosing among candidates; default
                 picks the largest cache.
+
+        A damaged candidate is quarantined and the next-best one is
+        tried, so one bad donor never hides the healthy ones.
         """
         vm_digest = vm_key(vm_version)
         tool_digest = tool_key(tool_identity)
@@ -167,24 +269,105 @@ class CacheDatabase:
             and entry.tool_digest == tool_digest
             and (exclude_app_path is None or entry.app_path != exclude_app_path)
         ]
-        if not candidates:
-            return None
-        if select is not None:
-            chosen = select(candidates)
-            if chosen is None:
-                return None
-        else:
-            chosen = max(candidates, key=lambda entry: entry.file_size)
-        return self._read(chosen)
+        while candidates:
+            if select is not None:
+                chosen = select(candidates)
+                if chosen is None:
+                    return None
+            else:
+                chosen = max(candidates, key=lambda entry: entry.file_size)
+            cache = self._read(chosen)
+            if cache is not None:
+                return cache
+            candidates = [entry for entry in candidates if entry is not chosen]
+        return None
 
-    def _read(self, entry: CacheEntry) -> PersistentCache:
-        return PersistentCache.load(os.path.join(self.directory, entry.filename))
+    def _read(self, entry: CacheEntry) -> Optional[PersistentCache]:
+        """Load one indexed cache file; quarantine it if damaged."""
+        path = os.path.join(self.directory, entry.filename)
+        try:
+            return PersistentCache.load(path, storage=self.storage)
+        except CacheFileError as exc:
+            section = exc.section or "unknown"
+            self._quarantine(
+                entry.filename, "damaged %s: %s" % (section, exc)
+            )
+            self._drop_entry(entry)
+            return None
+        except FileNotFoundError:
+            self.events.append(
+                ("missing", entry.filename, "indexed file does not exist")
+            )
+            self._drop_entry(entry)
+            return None
+        except OSError as exc:
+            # Read-level IO error (EIO and friends): surface as a miss;
+            # the file stays put — it may be readable next time.
+            self.events.append(("io-error", entry.filename, str(exc)))
+            return None
 
     def clear(self) -> None:
         """Remove every cache file and reset the index."""
         for entry in self._entries:
             path = os.path.join(self.directory, entry.filename)
-            if os.path.exists(path):
-                os.remove(path)
+            if self.storage.exists(path):
+                self.storage.remove(path)
         self._entries = []
         self._save_index()
+
+    # -- consistency check --------------------------------------------------
+
+    def fsck(self, quarantine: bool = False) -> FsckReport:
+        """Validate every indexed file section by section.
+
+        Also reports files the index does not know about (orphans, e.g.
+        after an index reset) and leftover ``.tmp`` files from
+        interrupted atomic writes.  With ``quarantine=True`` damaged
+        indexed files are moved aside and dropped from the index.
+        """
+        report = FsckReport()
+        indexed = set()
+        for entry in list(self._entries):
+            indexed.add(entry.filename)
+            path = os.path.join(self.directory, entry.filename)
+            if not self.storage.exists(path):
+                report.items.append(FsckItem(entry.filename, "missing"))
+                continue
+            try:
+                blob = self.storage.read_bytes(path)
+            except OSError as exc:
+                report.items.append(
+                    FsckItem(entry.filename, "corrupt", detail=str(exc))
+                )
+                continue
+            damage = verify_sections(blob)
+            if not damage:
+                report.items.append(FsckItem(entry.filename, "ok"))
+                continue
+            for section, reason in sorted(damage.items()):
+                report.items.append(
+                    FsckItem(entry.filename, "corrupt", section, reason)
+                )
+            if quarantine:
+                self._quarantine(entry.filename, "fsck: %s" % damage)
+                self._drop_entry(entry)
+                report.quarantined.append(entry.filename)
+        for filename in self.storage.listdir(self.directory):
+            path = os.path.join(self.directory, filename)
+            if filename in indexed or os.path.isdir(path):
+                continue
+            if filename in (INDEX_NAME, LOCK_NAME):
+                continue
+            if filename.endswith(TMP_SUFFIX):
+                report.items.append(
+                    FsckItem(
+                        filename,
+                        "stale-tmp",
+                        detail="leftover from an interrupted atomic write",
+                    )
+                )
+            elif filename.endswith(".cache"):
+                report.items.append(
+                    FsckItem(filename, "orphan", detail="not in the index")
+                )
+        return report

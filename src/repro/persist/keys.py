@@ -80,12 +80,32 @@ class MappingKey:
 
     @classmethod
     def from_json(cls, data: dict) -> "MappingKey":
+        """Deserialize with shape validation.
+
+        Raises ``ValueError`` (never ``KeyError``/``TypeError``) on a
+        malformed record, so the cache-file loader can present one typed
+        error for any damaged key, and a corrupt key can never produce a
+        key object that spuriously ``matches()`` a real mapping.
+        """
+        try:
+            path = data["path"]
+            base = data["base"]
+            size = data["size"]
+            header_digest = data["header_digest"]
+            mtime = data["mtime"]
+        except (KeyError, TypeError) as exc:
+            raise ValueError("malformed mapping key: %r" % (exc,)) from exc
+        if not isinstance(path, str) or not isinstance(header_digest, str):
+            raise ValueError("malformed mapping key: non-string identity")
+        for value in (base, size, mtime):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError("malformed mapping key: non-integer field")
         return cls(
-            path=data["path"],
-            base=data["base"],
-            size=data["size"],
-            header_digest=data["header_digest"],
-            mtime=data["mtime"],
+            path=path,
+            base=base,
+            size=size,
+            header_digest=header_digest,
+            mtime=mtime,
         )
 
 

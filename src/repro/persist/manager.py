@@ -34,10 +34,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.persist.cachefile import PersistentCache, PersistedTrace
+from repro.persist.cachefile import CacheFileError, PersistentCache, PersistedTrace
 from repro.persist.convert import persist_trace, revive_trace
 from repro.persist.database import CacheDatabase
 from repro.persist.keys import MappingKey, mapping_key
+
+#: Failures the session downgrades on instead of raising through the
+#: engine: malformed cache files and any storage-level IO error
+#: (including the fault-injection shim's, which subclass OSError).
+STORAGE_FAILURES = (CacheFileError, OSError)
 
 
 @dataclass
@@ -81,6 +86,15 @@ class PersistenceReport:
     key_checks: int = 0
     #: Traces skipped at write-back: unbacked or self-modified code.
     unbacked_skipped: int = 0
+    #: Damaged cache files moved aside (never deleted) this session.
+    cache_quarantined: int = 0
+    #: True when a storage failure downgraded this session to plain JIT
+    #: execution (no reuse and/or no write-back).
+    fallback_jit_only: bool = False
+    #: Human-readable reason for the downgrade ("" when none happened).
+    degraded_reason: str = ""
+    #: Count of storage-level failures absorbed by the session.
+    storage_errors: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return dict(self.__dict__)
@@ -110,6 +124,9 @@ class PersistentCacheSession:
         #: write-back, so conversion must happen in the unload hook).
         self._module_records: Dict[tuple, PersistedTrace] = {}
         self._started = False
+        #: Set after a storage failure: the session runs JIT-only from
+        #: then on (no reuse, no further write-back attempts).
+        self._degraded = False
 
     # -- engine hooks ------------------------------------------------------------
 
@@ -125,8 +142,24 @@ class PersistentCacheSession:
         self._app_path = process.executable.path
         self._app_key = self._current_keys[self._app_path]
 
-        loaded = self._lookup()
+        database = self.config.database
+        quarantined_before = (
+            database.quarantined_count if database is not None else 0
+        )
+        try:
+            loaded = self._lookup()
+        except STORAGE_FAILURES as exc:
+            # Paper §3.2: verification failure must degrade to plain JIT
+            # execution, never take the VM down.
+            self._sync_quarantine_events(quarantined_before)
+            self._degrade(stats, "cache lookup failed: %s" % exc)
+            return
+        self._sync_quarantine_events(quarantined_before)
         if loaded is None:
+            if self.report_data.cache_quarantined:
+                # The indexed cache existed but was damaged: it has been
+                # moved aside and this run proceeds without persistence.
+                self._degrade(stats, "cache file quarantined at lookup")
             return
         cost = engine.cost_model
         stats.charge_persistence(cost.pcache_open)
@@ -308,6 +341,29 @@ class PersistentCacheSession:
             )
         return database.lookup(self._app_key, self._vm_version, self._tool_identity)
 
+    def _sync_quarantine_events(self, quarantined_before: int) -> None:
+        """Fold the database's new quarantine events into the report."""
+        database = self.config.database
+        if database is None:
+            return
+        newly = database.quarantined_count - quarantined_before
+        if newly > 0:
+            self.report_data.cache_quarantined += newly
+
+    def _degrade(self, stats, reason: str) -> None:
+        """Downgrade the session to JIT-only execution, keeping the run
+        alive: "a damaged database must degrade to plain JIT execution,
+        not crash the VM"."""
+        self._degraded = True
+        self._cache = None
+        self.report_data.fallback_jit_only = True
+        self.report_data.storage_errors += 1
+        if not self.report_data.degraded_reason:
+            self.report_data.degraded_reason = reason
+        if stats is not None:
+            stats.persistence_storage_errors += 1
+            stats.persistence_degraded = 1
+
     def _invalidate_one(self, stats, cost, persisted: PersistedTrace) -> None:
         self.report_data.invalidated += 1
         stats.persistent_traces_invalidated += 1
@@ -332,6 +388,10 @@ class PersistentCacheSession:
 
     def _write_back(self, engine, machine, cache, stats) -> None:
         if self.config.readonly or self.config.database is None:
+            return
+        if self._degraded:
+            # A storage failure already downgraded this session; writing
+            # back through the same failing storage would be unsafe noise.
             return
         cost = engine.cost_model
         process = machine.process
@@ -386,13 +446,19 @@ class PersistentCacheSession:
                 reused_records + new_records + module_records + self._retained,
                 {},
             )
-        self.report_data.new_traces_persisted = len(new_records)
-        self.report_data.written = True
-        self.report_data.total_traces_after_write = len(target.traces)
-
         stats.charge_persistence(
             cost.pcache_write_fixed + cost.pcache_write_per_trace * len(target.traces)
         )
-        self.config.database.store(target, self._app_key)
+        try:
+            self.config.database.store(target, self._app_key)
+        except STORAGE_FAILURES as exc:
+            # ENOSPC/EIO mid-write, a vanished directory, ...: the
+            # atomic write-replace left the database consistent; record
+            # the downgrade and keep the program's run intact.
+            self._degrade(stats, "write-back failed: %s" % exc)
+            return
+        self.report_data.new_traces_persisted = len(new_records)
+        self.report_data.written = True
+        self.report_data.total_traces_after_write = len(target.traces)
         # Subsequent flush/exit write-backs accumulate onto this cache.
         self._cache = target

@@ -1,0 +1,24 @@
+"""Deterministic test harnesses for the reproduction.
+
+Currently one member: :mod:`repro.testing.faultfs`, the injectable
+filesystem shim the crash-consistency suite threads through the
+persistence layer's storage seam.
+"""
+
+from repro.testing.faultfs import (
+    FaultPlan,
+    FaultyStorage,
+    InjectedIOError,
+    SimulatedCrash,
+    flip_byte,
+    truncate_file,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultyStorage",
+    "InjectedIOError",
+    "SimulatedCrash",
+    "flip_byte",
+    "truncate_file",
+]

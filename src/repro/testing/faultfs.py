@@ -1,0 +1,176 @@
+"""Injectable filesystem faults for the persistence layer.
+
+The crash-consistency suite threads a :class:`FaultyStorage` through the
+persist layer's storage seam (:mod:`repro.persist.storage`) to prove one
+invariant: **every induced fault yields either a fully valid cache or a
+clean JIT-only run with identical program output** — never a revived
+trace from a damaged section, never a crash of the VM.
+
+Fault classes, mirroring what real deployments see:
+
+* **byte flips** — silent media corruption; applied directly to the file
+  on disk (:func:`flip_byte`) or to the bytes returned by reads
+  (:attr:`FaultPlan.flip_read_byte_at`);
+* **truncation** — a torn file after power loss (:func:`truncate_file` /
+  :attr:`FaultPlan.truncate_read_to`);
+* **``ENOSPC``/``EIO`` on the Nth write** — a full or dying disk in the
+  middle of a write-back (:attr:`FaultPlan.fail_write_on_call`), leaving
+  a partial ``.tmp`` file exactly as a real kernel would;
+* **kill between tmp-write and rename** — a crash at the worst point of
+  the atomic write-replace protocol
+  (:attr:`FaultPlan.crash_before_rename` raises
+  :class:`SimulatedCrash`, which deliberately is *not* an ``OSError``:
+  nothing in the production stack may catch it, because a killed process
+  catches nothing).
+
+Every primitive operation is counted (:attr:`FaultyStorage.op_counts`)
+so tests can sweep "fail the Nth write" across *every* N a scenario
+performs.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.persist.storage import FileStorage, StorageError
+
+
+class InjectedIOError(StorageError):
+    """An injected storage failure (an ``OSError``, like the real thing)."""
+
+    def __init__(self, errno_value: int, operation: str, path: str = ""):
+        super().__init__(
+            errno_value,
+            "injected %s failure (%s)" % (operation, errno.errorcode.get(
+                errno_value, errno_value
+            )),
+            path or None,
+        )
+        self.operation = operation
+
+
+class SimulatedCrash(BaseException):
+    """The process was killed at this exact point.
+
+    Derives from ``BaseException`` so no ``except Exception`` handler in
+    the production stack can absorb it — a killed process does not get to
+    run cleanup code.  Tests catch it explicitly and then re-open the
+    database the way a fresh process would.
+    """
+
+
+@dataclass
+class FaultPlan:
+    """What to break, and when.
+
+    All fields default to "no fault"; a default plan makes
+    :class:`FaultyStorage` behave exactly like :class:`FileStorage`
+    (modulo op counting).
+    """
+
+    #: Fail the Nth ``_write`` chunk (1-based, counted across the whole
+    #: storage object) with :attr:`fail_write_errno`.
+    fail_write_on_call: Optional[int] = None
+    fail_write_errno: int = errno.ENOSPC
+    #: Raise :class:`SimulatedCrash` instead of renaming the tmp file
+    #: over the destination: the written data is complete in ``.tmp`` but
+    #: never becomes visible.
+    crash_before_rename: bool = False
+    #: Fail the rename with an IO error instead of a crash.
+    fail_rename_errno: Optional[int] = None
+    #: XOR 0xFF into this offset of every matching read's result.
+    flip_read_byte_at: Optional[int] = None
+    #: Return only this many bytes from matching reads.
+    truncate_read_to: Optional[int] = None
+    #: Fail matching reads outright with ``EIO``.
+    fail_reads: bool = False
+    #: Only paths containing this substring are affected ("" = all).
+    match: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        return self.match in path
+
+
+class FaultyStorage(FileStorage):
+    """A :class:`FileStorage` that executes a :class:`FaultPlan`."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan or FaultPlan()
+        self.op_counts: Dict[str, int] = {}
+        #: (operation, path) log for assertions on ordering.
+        self.log = []
+
+    def _count(self, operation: str, path: str = "") -> int:
+        self.op_counts[operation] = self.op_counts.get(operation, 0) + 1
+        self.log.append((operation, path))
+        return self.op_counts[operation]
+
+    # -- faulted reads -------------------------------------------------------
+
+    def read_bytes(self, path: str) -> bytes:
+        self._count("read", path)
+        plan = self.plan
+        if plan.applies_to(path) and plan.fail_reads:
+            raise InjectedIOError(errno.EIO, "read", path)
+        data = super().read_bytes(path)
+        if not plan.applies_to(path):
+            return data
+        if plan.truncate_read_to is not None:
+            data = data[: plan.truncate_read_to]
+        if plan.flip_read_byte_at is not None and data:
+            offset = plan.flip_read_byte_at % len(data)
+            data = data[:offset] + bytes([data[offset] ^ 0xFF]) + data[offset + 1 :]
+        return data
+
+    # -- faulted writes ------------------------------------------------------
+
+    def _write(self, handle, chunk: bytes) -> None:
+        calls = self._count("write", getattr(handle, "name", ""))
+        plan = self.plan
+        if (
+            plan.fail_write_on_call is not None
+            and calls >= plan.fail_write_on_call
+            and plan.applies_to(getattr(handle, "name", ""))
+        ):
+            raise InjectedIOError(
+                plan.fail_write_errno, "write", getattr(handle, "name", "")
+            )
+        super()._write(handle, chunk)
+
+    def _rename(self, src: str, dst: str) -> None:
+        self._count("rename", dst)
+        plan = self.plan
+        if plan.applies_to(dst):
+            if plan.crash_before_rename:
+                raise SimulatedCrash(
+                    "process killed between tmp write and rename of %s" % dst
+                )
+            if plan.fail_rename_errno is not None:
+                raise InjectedIOError(plan.fail_rename_errno, "rename", dst)
+        super()._rename(src, dst)
+
+
+# -- direct on-disk corruption helpers ---------------------------------------
+
+
+def flip_byte(path: str, offset: int, mask: int = 0xFF) -> None:
+    """XOR ``mask`` into one byte of the file at ``path`` (in place)."""
+    with open(path, "r+b") as handle:
+        handle.seek(0, os.SEEK_END)
+        size = handle.tell()
+        if size == 0:
+            raise ValueError("cannot flip a byte of an empty file")
+        offset %= size
+        handle.seek(offset)
+        original = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([original ^ (mask & 0xFF)]))
+
+
+def truncate_file(path: str, length: int) -> None:
+    """Cut the file at ``path`` down to ``length`` bytes (in place)."""
+    with open(path, "r+b") as handle:
+        handle.truncate(max(0, length))

@@ -147,10 +147,13 @@ class CodeCache:
                     # at this entry must re-link the exit eagerly.
                     slot.linked_entry = None
                     self._pending_links.setdefault(entry, []).append(slot)
+        # LinkSlot is a value-equal dataclass, so membership tests must
+        # compare by identity here: two traces' slots with the same exit
+        # shape are equal, and removing "equal" slots would silently drop
+        # *another* resident's pending link.
+        own_slots = {id(slot) for slot in translated.links}
         for slots in self._pending_links.values():
-            for slot in list(slots):
-                if slot in translated.links:
-                    slots.remove(slot)
+            slots[:] = [slot for slot in slots if id(slot) not in own_slots]
         return translated
 
     def evict_range(self, start: int, end: int) -> List[TranslatedTrace]:

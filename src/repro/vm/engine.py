@@ -63,6 +63,13 @@ class EngineError(Exception):
     """Raised for unrecoverable engine conditions (e.g. trace > pool)."""
 
 
+def _persistence_failure_types() -> tuple:
+    """Exception types that must degrade persistence, not kill the run."""
+    from repro.persist.cachefile import CacheFileError
+
+    return (CacheFileError, OSError)
+
+
 @dataclass
 class VMConfig:
     """Engine tunables."""
@@ -111,8 +118,36 @@ class Engine:
         self.cost_model = cost_model
         self.config = config or VMConfig()
         self.persistence = persistence
+        #: Set by the degradation backstop when a storage failure escapes
+        #: the session: the rest of the run executes JIT-only.
+        self._persistence_disabled = False
 
     # -- public API -------------------------------------------------------------
+
+    def _persist_hook(self, hook: str, stats: VMStats, *args) -> None:
+        """Invoke one persistence-session hook with a degradation backstop.
+
+        The session already downgrades itself on storage failures; this
+        wrapper is the engine's last line of defense — any storage error
+        that still escapes detaches persistence for the rest of the run
+        (JIT-only) instead of raising through the dispatcher.  The
+        session object stays attached so its report reaches the run
+        result with the degradation recorded.
+        """
+        session = self.persistence
+        if session is None or self._persistence_disabled:
+            return
+        try:
+            getattr(session, hook)(self, *args)
+        except _persistence_failure_types() as exc:
+            self._persistence_disabled = True
+            stats.persistence_storage_errors += 1
+            stats.persistence_degraded = 1
+            report = getattr(session, "report_data", None)
+            if report is not None:
+                report.fallback_jit_only = True
+                if not getattr(report, "degraded_reason", ""):
+                    report.degraded_reason = "%s: %s" % (hook, exc)
 
     def run(
         self,
@@ -133,8 +168,8 @@ class Engine:
         context = ExecutionContext(machine)
         accounting = ToolAccounting()
 
-        if self.persistence is not None:
-            self.persistence.on_process_start(self, machine, cache, stats)
+        self._persistence_disabled = False
+        self._persist_hook("on_process_start", stats, machine, cache, stats)
 
         def on_code_write(addr: int, _cache=cache, _stats=stats) -> None:
             # Self-modifying code: drop every trace overlapping the
@@ -177,16 +212,14 @@ class Engine:
                 ] if modified else evicted
                 if self.config.module_retention:
                     module_stash[key] = clean
-                if self.persistence is not None:
-                    self.persistence.on_module_unload(
-                        self, machine, _stats, mapping, clean
-                    )
+                self._persist_hook(
+                    "on_module_unload", _stats, machine, _stats, mapping, clean
+                )
                 return
             _stats.module_loads += 1
-            if self.persistence is not None:
-                self.persistence.on_module_load(
-                    self, machine, _cache, _stats, mapping
-                )
+            self._persist_hook(
+                "on_module_load", _stats, machine, _cache, _stats, mapping
+            )
             for stashed in module_stash.pop(key, ()):
                 if stashed.entry in _cache:
                     continue
@@ -243,7 +276,7 @@ class Engine:
 
         persistence_report: Dict[str, object] = {}
         if self.persistence is not None:
-            self.persistence.on_exit(self, machine, cache, stats)
+            self._persist_hook("on_exit", stats, machine, cache, stats)
             persistence_report = self.persistence.report()
 
         return VMRunResult(
@@ -286,8 +319,7 @@ class Engine:
         try:
             patches = cache.insert(translated)
         except CacheFull:
-            if self.persistence is not None:
-                self.persistence.on_cache_flush(self, machine, cache, stats)
+            self._persist_hook("on_cache_flush", stats, machine, cache, stats)
             stats.charge_dispatch(self.cost_model.cache_flush)
             stats.cache_flushes += 1
             cache.flush()

@@ -51,6 +51,13 @@ class VMStats:
     module_loads: int = 0
     module_unloads: int = 0
     module_traces_retained: int = 0
+    #: Storage-level persistence failures absorbed without crashing the
+    #: run (corrupt cache files, ENOSPC/EIO at write-back, ...).
+    persistence_storage_errors: int = 0
+    #: 1 when a storage failure downgraded the run to JIT-only execution;
+    #: measurement drivers assert this stayed 0 so no silent fallback can
+    #: masquerade as a persistence result.
+    persistence_degraded: int = 0
 
     #: (cycle timestamp, original entry address) per translation request —
     #: the vertical lines of Figure 2(a).

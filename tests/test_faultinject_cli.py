@@ -1,0 +1,121 @@
+"""Tests for ``repro cache fsck`` — the operator-facing recovery tool.
+
+One test shells out to ``python -m repro.cli cache fsck <db>`` so the
+documented command line (also exposed as ``make fsck``) is exercised
+verbatim, not just the in-process entry point.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.persist.database import CacheDatabase, QUARANTINE_DIR
+from repro.persist.manager import PersistenceConfig
+from repro.testing.faultfs import flip_byte, truncate_file
+from repro.workloads.harness import run_vm
+
+from tests.test_persist_manager import mini_workload
+
+pytestmark = pytest.mark.faultinject
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def seeded_directory(tmp_path):
+    db = CacheDatabase(str(tmp_path / "db"))
+    run_vm(mini_workload(), "a", persistence=PersistenceConfig(database=db))
+    return db.directory, db.entries()[0].filename
+
+
+class TestFsck:
+    def test_clean_database_exits_zero(self, tmp_path, capsys):
+        directory, filename = seeded_directory(tmp_path)
+        code, out = run_cli(capsys, "cache", "fsck", directory)
+        assert code == 0
+        assert "fsck: clean" in out
+        assert filename in out
+
+    def test_empty_database(self, tmp_path, capsys):
+        code, out = run_cli(capsys, "cache", "fsck", str(tmp_path / "empty"))
+        assert code == 0
+        assert "nothing to check" in out
+
+    def test_corrupt_file_exits_one_and_names_the_section(
+        self, tmp_path, capsys
+    ):
+        directory, filename = seeded_directory(tmp_path)
+        path = os.path.join(directory, filename)
+        # Land the flip deep in the file: pool damage, precise section.
+        flip_byte(path, int(os.path.getsize(path) * 0.9))
+        code, out = run_cli(capsys, "cache", "fsck", directory)
+        assert code == 1
+        assert "fsck: damage found" in out
+        assert filename in out
+        assert "corrupt" in out
+        # Some real section is named in the report.
+        assert any(
+            section in out
+            for section in ("header", "directory", "code_pool", "data_pool")
+        )
+        # Without --quarantine the file was left exactly where it was.
+        assert os.path.exists(path)
+
+    def test_quarantine_flag_moves_file_aside(self, tmp_path, capsys):
+        directory, filename = seeded_directory(tmp_path)
+        path = os.path.join(directory, filename)
+        truncate_file(path, os.path.getsize(path) // 2)
+        code, out = run_cli(capsys, "cache", "fsck", directory, "--quarantine")
+        assert code == 1
+        assert "quarantined: %s" % filename in out
+        assert not os.path.exists(path)
+        assert os.path.exists(os.path.join(directory, QUARANTINE_DIR, filename))
+        # A second pass is healthy: the damage was contained (the only
+        # entry is gone, so the database reads as empty and clean).
+        code, out = run_cli(capsys, "cache", "fsck", directory)
+        assert code == 0
+
+    def test_stale_tmp_reported(self, tmp_path, capsys):
+        directory, _ = seeded_directory(tmp_path)
+        with open(os.path.join(directory, "x.cache.tmp"), "wb") as handle:
+            handle.write(b"partial")
+        code, out = run_cli(capsys, "cache", "fsck", directory)
+        assert code == 1
+        assert "stale-tmp" in out
+
+    def test_missing_indexed_file_reported(self, tmp_path, capsys):
+        directory, filename = seeded_directory(tmp_path)
+        os.unlink(os.path.join(directory, filename))
+        code, out = run_cli(capsys, "cache", "fsck", directory)
+        assert code == 1
+        assert "missing" in out
+
+
+class TestScriptEntryPoint:
+    def test_documented_command_line(self, tmp_path):
+        """The exact invocation from the docs and the Makefile:
+        ``python -m repro.cli cache fsck <db>``."""
+        directory, filename = seeded_directory(tmp_path)
+        env = dict(os.environ)
+        repo_src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(repo_src)
+        command = [sys.executable, "-m", "repro.cli", "cache", "fsck", directory]
+
+        clean = subprocess.run(
+            command, capture_output=True, text=True, env=env
+        )
+        assert clean.returncode == 0, clean.stderr
+        assert "fsck: clean" in clean.stdout
+
+        flip_byte(os.path.join(directory, filename), 50)
+        damaged = subprocess.run(
+            command, capture_output=True, text=True, env=env
+        )
+        assert damaged.returncode == 1, damaged.stderr
+        assert "fsck: damage found" in damaged.stdout

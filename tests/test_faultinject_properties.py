@@ -1,0 +1,142 @@
+"""Property-based corruption tests (Hypothesis).
+
+The contract under test: ``serialize -> corrupt -> load`` never yields a
+cache object with a damaged trace.  Either the load raises a typed
+:class:`CacheFileError`, or the corruption was a byte-for-byte no-op and
+the load returns the original content exactly.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.persist.cachefile import CacheFileError, PersistentCache
+from repro.persist.keys import MappingKey
+from repro.testing.faultfs import FaultPlan, FaultyStorage
+
+from tests.test_persist_cachefile import make_cache
+
+pytestmark = pytest.mark.faultinject
+
+#: Pre-serialized blobs of varying shapes (empty, one trace, several).
+BLOBS = tuple(make_cache(n_traces=n).to_bytes() for n in (0, 1, 3))
+
+
+def load_or_typed_error(blob):
+    """Load ``blob``; any failure must be a CacheFileError, nothing else."""
+    try:
+        return PersistentCache.from_bytes(blob)
+    except CacheFileError:
+        return None
+    # Anything else (struct.error, zlib.error, KeyError, ...) propagates
+    # and fails the test.
+
+
+class TestSingleByteCorruption:
+    @settings(max_examples=300, deadline=None)
+    @given(
+        blob=st.sampled_from(BLOBS),
+        offset_seed=st.integers(min_value=0, max_value=2**31),
+        mask=st.integers(min_value=1, max_value=255),
+    )
+    def test_one_corrupted_byte_never_yields_a_bad_trace(
+        self, blob, offset_seed, mask
+    ):
+        offset = offset_seed % len(blob)
+        corrupt = bytearray(blob)
+        corrupt[offset] ^= mask
+        loaded = load_or_typed_error(bytes(corrupt))
+        assert loaded is None  # every real change is caught by a checksum
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        blob=st.sampled_from(BLOBS),
+        offset_seed=st.integers(min_value=0, max_value=2**31),
+        mask=st.integers(min_value=1, max_value=255),
+    )
+    def test_error_names_a_real_section(self, blob, offset_seed, mask):
+        offset = offset_seed % len(blob)
+        corrupt = bytearray(blob)
+        corrupt[offset] ^= mask
+        with pytest.raises(CacheFileError) as excinfo:
+            PersistentCache.from_bytes(bytes(corrupt))
+        assert excinfo.value.section in {
+            "preamble", "header", "directory",
+            "code_pool", "data_pool", "trailer",
+        }
+
+
+class TestStructuralCorruption:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        blob=st.sampled_from(BLOBS),
+        length_seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_truncation_detected(self, blob, length_seed):
+        length = length_seed % len(blob)  # strictly shorter
+        assert load_or_typed_error(blob[:length]) is None
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        blob=st.sampled_from(BLOBS),
+        junk=st.binary(min_size=1, max_size=64),
+    )
+    def test_appended_garbage_detected(self, blob, junk):
+        assert load_or_typed_error(blob + junk) is None
+
+    @settings(max_examples=200, deadline=None)
+    @given(junk=st.binary(max_size=256))
+    def test_arbitrary_bytes_never_crash_untyped(self, junk):
+        loaded = load_or_typed_error(junk)
+        # Random bytes essentially never form a valid file; if they do,
+        # the checksummed framing guarantees well-formed content.
+        if loaded is not None:
+            assert loaded.to_bytes() == junk
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        blob=st.sampled_from(BLOBS),
+        start_seed=st.integers(min_value=0, max_value=2**31),
+        chunk=st.binary(min_size=1, max_size=32),
+    )
+    def test_spliced_bytes_detected_or_noop(self, blob, start_seed, chunk):
+        """Overwrite a random span: either detected, or nothing changed."""
+        start = start_seed % len(blob)
+        corrupt = bytearray(blob)
+        corrupt[start:start + len(chunk)] = chunk
+        corrupt = bytes(corrupt)
+        loaded = load_or_typed_error(corrupt)
+        if loaded is not None:
+            assert corrupt == blob  # the splice happened to be identical
+
+    @settings(max_examples=50, deadline=None)
+    @given(mtime=st.integers(min_value=0, max_value=2**31))
+    def test_roundtrip_of_varied_keys(self, mtime):
+        cache = make_cache(n_traces=1)
+        cache.image_keys["app"] = MappingKey("app", 0x40_0000, 0x1000, "hd", mtime)
+        clone = PersistentCache.from_bytes(cache.to_bytes())
+        assert clone.image_keys["app"].mtime == mtime
+
+
+class TestReadFaultProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        offset_seed=st.integers(min_value=0, max_value=2**31),
+        mask=st.integers(min_value=1, max_value=255),
+    )
+    def test_on_disk_flip_through_storage_seam(
+        self, tmp_path_factory, offset_seed, mask
+    ):
+        """A flip injected at the *read* layer (media fault rather than a
+        damaged file) is equally contained."""
+        base = tmp_path_factory.mktemp("prop")
+        path = str(base / "x.cache")
+        cache = make_cache(n_traces=2)
+        cache.save(path)
+        size = cache.file_size
+        storage = FaultyStorage(
+            FaultPlan(flip_read_byte_at=offset_seed % size)
+        )
+        with pytest.raises(CacheFileError):
+            PersistentCache.load(path, storage=storage)
+        # The file itself is untouched: a clean read still succeeds.
+        assert len(PersistentCache.load(path).traces) == 2

@@ -140,26 +140,41 @@ class TestAccumulation:
 
 class TestDirectoryValidation:
     def _tamper(self, field, value):
-        """Serialize a cache, corrupt one directory field, re-frame."""
+        """Serialize a cache, corrupt one directory field, re-frame.
+
+        Re-frames with valid checksums at every level, so the *semantic*
+        validation of the directory records is what gets exercised — not
+        the CRCs.
+        """
         import json
         import struct
         import zlib
 
-        from repro.persist.cachefile import MAGIC
+        from repro.persist.cachefile import FORMAT_VERSION, MAGIC, PREAMBLE
+
+        def crc(data):
+            return zlib.crc32(data) & 0xFFFFFFFF
 
         blob = make_cache().to_bytes()
-        header_len = struct.unpack_from("<I", blob, len(MAGIC))[0]
-        header_start = len(MAGIC) + 4
+        _, _, flags, header_len, _ = PREAMBLE.unpack_from(blob, 0)
+        header_start = PREAMBLE.size
         header = json.loads(blob[header_start:header_start + header_len])
-        header["traces"][0][field] = value
+        dir_size = header["sections"]["directory"][0]
+        dir_start = header_start + header_len
+        directory = json.loads(blob[dir_start:dir_start + dir_size])
+        directory[0][field] = value
+        new_directory = json.dumps(directory, sort_keys=True).encode()
+        header["sections"]["directory"] = [len(new_directory), crc(new_directory)]
         new_header = json.dumps(header, sort_keys=True).encode()
         body = (
-            MAGIC
-            + struct.pack("<I", len(new_header))
+            PREAMBLE.pack(
+                MAGIC, FORMAT_VERSION, flags, len(new_header), crc(new_header)
+            )
             + new_header
-            + blob[header_start + header_len:-4]
+            + new_directory
+            + blob[dir_start + dir_size:-4]
         )
-        return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+        return body + struct.pack("<I", crc(body))
 
     @pytest.mark.parametrize(
         "field,value",

@@ -37,7 +37,8 @@ class TestSessionLifecycle:
             "cache_found", "source_app", "preloaded", "invalidated",
             "rebased", "retained_unloaded", "version_conflict",
             "new_traces_persisted", "written", "total_traces_after_write",
-            "key_checks", "unbacked_skipped",
+            "key_checks", "unbacked_skipped", "cache_quarantined",
+            "fallback_jit_only", "degraded_reason", "storage_errors",
         }
         assert set(report) == expected_keys
 
