@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Persistent-cache database directory for `make fsck` (override: make fsck DB=...)
 DB ?= /tmp/pcc-db
 
-.PHONY: test faultinject benchmarks fsck
+.PHONY: test faultinject benchmarks bench-wallclock fsck
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +17,12 @@ faultinject:
 
 benchmarks:
 	$(PYTHON) -m pytest -q benchmarks
+
+# Wall-clock dispatch-tier suite (docs/performance.md).  Writes
+# BENCH_wallclock.json at the repo root; fails if compiled dispatch is
+# slower than interpreted on the fig5a GUI workload.
+bench-wallclock:
+	$(PYTHON) -m repro.cli bench --check --check-threshold 1.0
 
 # Check a persistent-cache database's integrity section by section.
 fsck:

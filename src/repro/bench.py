@@ -1,0 +1,216 @@
+"""Wall-clock benchmark harness for the two dispatch tiers.
+
+Times *host* wall-clock seconds — not simulated cycles — for the same
+workload families the cycle-level benchmarks regenerate from the paper:
+
+* ``fig5a_gui``: GUI startup with a warm same-input persistent cache
+  (the Figure 5(a) configuration), the headline configuration for the
+  compiled dispatch tier: warm runs revive every trace from the
+  persistent cache and spend their time executing, which is exactly
+  what trace-compiled dispatch accelerates.
+* ``fig2b_gui``: plain GUI startup, no persistence (Figure 2(b)).
+* ``headline_spec``: the SPEC2K INT suite (Train inputs) plus the
+  Oracle phases, no persistence.
+
+Methodology: each family is timed as a full sweep (every workload in
+the family, sequentially) under each dispatch mode.  Sweeps run
+``warmup`` untimed repetitions first — standard JIT-benchmark practice,
+here amortizing the host ``compile()`` of trace closures, which the
+factory memo (:mod:`repro.vm.compile`) shares across runs exactly like
+the paper's persistent code cache shares translations across
+executions — then ``reps`` timed repetitions; the score is the minimum
+(least-noise) repetition.  Before timing, one run per mode is compared
+field-for-field (output, exit status, every :class:`VMStats` counter)
+so a reported speedup can never come from divergent behavior.
+
+The result dictionary is also written as ``BENCH_wallclock.json`` at
+the repository root by :func:`run_wallclock` when ``out_path`` is given
+(the CLI and the benchmark suite both do).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import platform
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.persist.database import CacheDatabase
+from repro.persist.manager import PersistenceConfig
+from repro.vm.engine import VMConfig
+from repro.workloads.harness import run_vm
+from repro.workloads.gui import build_gui_suite
+from repro.workloads.oracle import PHASES, build_oracle
+from repro.workloads.spec2k import build_suite
+
+#: The acceptance gate: compiled dispatch must beat interpreted dispatch
+#: by at least this factor (wall-clock) on the fig5a GUI workload.
+GATE_WORKLOAD = "fig5a_gui"
+GATE_THRESHOLD_X = 1.5
+
+_MODES = ("interpreted", "compiled")
+
+
+def _result_signature(result) -> tuple:
+    """Everything observable about a run, for cross-tier comparison."""
+    return (result.output, result.exit_status, vars(result.stats))
+
+
+def _measure_family(
+    sweep: Callable[[str], list], warmup: int, reps: int
+) -> Dict[str, object]:
+    signatures = {mode: [_result_signature(r) for r in sweep(mode)]
+                  for mode in _MODES}
+    identical = signatures["interpreted"] == signatures["compiled"]
+    for _ in range(warmup):
+        for mode in _MODES:
+            sweep(mode)
+    # Reps are interleaved (i, c, i, c, ...) so slow host-frequency /
+    # load drift hits both modes equally instead of biasing whichever
+    # mode happens to be timed last; the cycle collector is paused during
+    # timed reps so its pauses cannot land in one mode's window.
+    times: Dict[str, List[float]] = {mode: [] for mode in _MODES}
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(reps):
+            for mode in _MODES:
+                start = time.perf_counter()
+                sweep(mode)
+                times[mode].append(time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    best_i = min(times["interpreted"])
+    best_c = min(times["compiled"])
+    return {
+        "interpreted_s": best_i,
+        "compiled_s": best_c,
+        "speedup_x": best_i / best_c,
+        "reps_interpreted_s": times["interpreted"],
+        "reps_compiled_s": times["compiled"],
+        "identical_results": identical,
+    }
+
+
+def _config(mode: str) -> VMConfig:
+    return VMConfig(dispatch_mode=mode)
+
+
+def _fig5a_gui_sweep(scratch_dir: str) -> Callable[[str], list]:
+    """Warm same-input persistent-cache GUI startup (Figure 5(a))."""
+    apps, _store = build_gui_suite()
+    ordered = sorted(apps.items())
+    databases = {}
+    for name, app in ordered:
+        db = CacheDatabase(os.path.join(scratch_dir, "fig5a-" + name))
+        # Cold run populates the persistent cache (untimed setup).
+        run_vm(app, "startup", persistence=PersistenceConfig(database=db),
+               vm_config=_config("compiled"))
+        databases[name] = db
+
+    def sweep(mode: str) -> list:
+        return [
+            run_vm(app, "startup",
+                   persistence=PersistenceConfig(database=databases[name]),
+                   vm_config=_config(mode))
+            for name, app in ordered
+        ]
+
+    return sweep
+
+
+def _fig2b_gui_sweep() -> Callable[[str], list]:
+    """Plain GUI startup, no persistence (Figure 2(b))."""
+    apps, _store = build_gui_suite()
+    ordered = sorted(apps.items())
+
+    def sweep(mode: str) -> list:
+        return [run_vm(app, "startup", vm_config=_config(mode))
+                for _name, app in ordered]
+
+    return sweep
+
+
+def _headline_spec_sweep() -> Callable[[str], list]:
+    """SPEC2K INT Train sweep plus the Oracle phases, no persistence."""
+    spec = sorted(build_suite().items())
+    oracle = build_oracle()
+
+    def sweep(mode: str) -> list:
+        results = [run_vm(wl, "train", vm_config=_config(mode))
+                   for _name, wl in spec]
+        results.extend(run_vm(oracle, phase, vm_config=_config(mode))
+                       for phase in PHASES)
+        return results
+
+    return sweep
+
+
+def run_wallclock(
+    scratch_dir: str,
+    warmup: int = 1,
+    reps: int = 3,
+    families: Optional[Tuple[str, ...]] = None,
+    out_path: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run the wall-clock suite; return (and optionally write) results.
+
+    Args:
+        scratch_dir: Writable directory for the persistent-cache
+            databases the fig5a family needs.
+        warmup: Untimed repetitions per family per mode.
+        reps: Timed repetitions per family per mode (score = min).
+        families: Subset of family names to run (default: all).
+        out_path: When given, the result dict is written there as JSON.
+    """
+    builders: Dict[str, Callable[[], Callable[[str], list]]] = {
+        "fig5a_gui": lambda: _fig5a_gui_sweep(scratch_dir),
+        "fig2b_gui": _fig2b_gui_sweep,
+        "headline_spec": _headline_spec_sweep,
+    }
+    selected = families if families is not None else tuple(builders)
+    unknown = [name for name in selected if name not in builders]
+    if unknown:
+        raise ValueError("unknown bench families: %s" % ", ".join(unknown))
+
+    workloads: Dict[str, object] = {}
+    for name in selected:
+        workloads[name] = _measure_family(builders[name](), warmup, reps)
+
+    results: Dict[str, object] = {
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "config": {"warmup_reps": warmup, "timed_reps": reps},
+        "workloads": workloads,
+        "gate": {
+            "workload": GATE_WORKLOAD,
+            "threshold_x": GATE_THRESHOLD_X,
+        },
+    }
+    gate = results["gate"]
+    if GATE_WORKLOAD in workloads:
+        family = workloads[GATE_WORKLOAD]
+        gate["speedup_x"] = family["speedup_x"]
+        gate["pass"] = (
+            family["identical_results"]
+            and family["speedup_x"] >= GATE_THRESHOLD_X
+        )
+
+    if out_path is not None:
+        payload = json.dumps(results, indent=2, sort_keys=True) + "\n"
+        with open(out_path, "w") as handle:
+            handle.write(payload)
+    return results
+
+
+def default_output_path() -> str:
+    """``BENCH_wallclock.json`` at the repository root (next to src/)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.join(os.path.dirname(os.path.dirname(here)),
+                        "BENCH_wallclock.json")

@@ -83,7 +83,15 @@ class Image:
         return None
 
     def global_symbols(self) -> Dict[str, Symbol]:
-        return {sym.name: sym for sym in self.symbols if sym.is_global}
+        # Memoized per symbol-table length: symbol resolution hits this
+        # once per undefined reference per load, and the table only ever
+        # grows while an image is being *built* (never once loaded).
+        cached = getattr(self, "_global_cache", None)
+        if cached is not None and cached[0] == len(self.symbols):
+            return cached[1]
+        table = {sym.name: sym for sym in self.symbols if sym.is_global}
+        self._global_cache = (len(self.symbols), table)
+        return table
 
     @property
     def size(self) -> int:

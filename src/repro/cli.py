@@ -13,6 +13,7 @@ Usage::
     python -m repro pcache show /tmp/db --index 0
     python -m repro cache fsck /tmp/db
     python -m repro cache fsck /tmp/db --quarantine
+    python -m repro bench --reps 5 --check
     python -m repro disasm path/to/image.sbf
 
 ``run`` executes a workload input natively or under the DBI engine
@@ -248,6 +249,71 @@ def cmd_cache_fsck(args) -> int:
     return 0 if healthy else 1
 
 
+def cmd_bench(args) -> int:
+    """``repro bench``: wall-clock dispatch-tier benchmark suite."""
+    import tempfile
+
+    from repro.bench import (
+        GATE_THRESHOLD_X,
+        GATE_WORKLOAD,
+        default_output_path,
+        run_wallclock,
+    )
+
+    out_path = args.out or default_output_path()
+    families = tuple(args.family) if args.family else None
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as scratch:
+        results = run_wallclock(
+            scratch_dir=scratch,
+            warmup=args.warmup,
+            reps=args.reps,
+            families=families,
+            out_path=out_path,
+        )
+
+    rows = []
+    for name, family in sorted(results["workloads"].items()):
+        rows.append(
+            {
+                "workload": name,
+                "interpreted_s": "%.3f" % family["interpreted_s"],
+                "compiled_s": "%.3f" % family["compiled_s"],
+                "speedup_x": "%.2f" % family["speedup_x"],
+                "identical": str(family["identical_results"]),
+            }
+        )
+    print(format_table(
+        rows,
+        columns=["workload", "interpreted_s", "compiled_s", "speedup_x",
+                 "identical"],
+        title="Wall-clock dispatch benchmark (best of %d, %d warmup)"
+              % (args.reps, args.warmup),
+    ))
+    print("results written to %s" % out_path)
+
+    gate = results["gate"]
+    if "pass" in gate:
+        print(
+            "gate: %s speedup %.2fx (threshold %.1fx) -> %s"
+            % (GATE_WORKLOAD, gate["speedup_x"], GATE_THRESHOLD_X,
+               "PASS" if gate["pass"] else "FAIL")
+        )
+        if args.check:
+            # An explicit --check-threshold overrides the recorded gate
+            # for the exit code only (CI smoke uses 1.0: merely "not
+            # slower", robust to shared-runner noise).
+            threshold = (
+                args.check_threshold if args.check_threshold is not None
+                else GATE_THRESHOLD_X
+            )
+            family = results["workloads"][GATE_WORKLOAD]
+            ok = (family["identical_results"]
+                  and family["speedup_x"] >= threshold)
+            if not ok:
+                return 1
+    return 0
+
+
 def cmd_disasm(args) -> int:
     """``repro disasm``: disassemble an SBF image's .text."""
     image = Image.load(args.image)
@@ -325,6 +391,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help="move damaged files aside and drop them from "
                           "the index (never deletes)")
     sub.set_defaults(func=cmd_cache_fsck)
+
+    sub = subparsers.add_parser(
+        "bench", help="wall-clock dispatch-tier benchmark suite"
+    )
+    sub.add_argument("--warmup", type=int, default=1,
+                     help="untimed repetitions per family/mode (default 1)")
+    sub.add_argument("--reps", type=int, default=5,
+                     help="timed repetitions per family/mode (default 5)")
+    sub.add_argument("--family", action="append",
+                     choices=("fig5a_gui", "fig2b_gui", "headline_spec"),
+                     help="run only this family (repeatable; default all)")
+    sub.add_argument("--out", metavar="PATH",
+                     help="result JSON path (default BENCH_wallclock.json "
+                          "at the repo root)")
+    sub.add_argument("--check", action="store_true",
+                     help="exit non-zero when the fig5a speedup gate fails")
+    sub.add_argument("--check-threshold", type=float, default=None,
+                     help="override the --check speedup threshold "
+                          "(default: the recorded 1.5x gate)")
+    sub.set_defaults(func=cmd_bench)
 
     sub = subparsers.add_parser("disasm", help="disassemble an SBF image")
     sub.add_argument("image")

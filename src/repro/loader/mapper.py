@@ -70,10 +70,17 @@ class Mapping:
 
 @dataclass
 class AddressSpace:
-    """A sorted collection of mappings with word/byte access helpers."""
+    """A sorted collection of mappings with word/byte access helpers.
+
+    Word accesses cache the last mapping hit (``_hot``): loads and stores
+    cluster heavily on the stack/heap, so the common case skips the
+    bisect.  The cache is invalidated on unmap; insertion cannot make it
+    stale (mappings never overlap).
+    """
 
     mappings: List[Mapping] = field(default_factory=list)
     _bases: List[int] = field(default_factory=list)
+    _hot: Optional[Mapping] = field(default=None, repr=False, compare=False)
 
     def add_mapping(self, mapping: Mapping) -> Mapping:
         """Insert a mapping; reject overlaps."""
@@ -111,6 +118,7 @@ class AddressSpace:
             ) from exc
         del self.mappings[index]
         del self._bases[index]
+        self._hot = None
 
     def find_mapping(self, addr: int) -> Mapping:
         """Return the mapping containing ``addr``."""
@@ -118,6 +126,7 @@ class AddressSpace:
         if index >= 0:
             mapping = self.mappings[index]
             if mapping.contains(addr):
+                self._hot = mapping
                 return mapping
         raise MemoryError_("unmapped address 0x%x" % addr)
 
@@ -132,7 +141,11 @@ class AddressSpace:
 
     def read_bytes(self, addr: int, length: int) -> bytes:
         """Read raw bytes; the range must stay within one mapping."""
-        mapping = self.find_mapping(addr)
+        mapping = self._hot
+        if mapping is None or not (
+            mapping.base <= addr < mapping.base + len(mapping.data)
+        ):
+            mapping = self.find_mapping(addr)
         if addr + length > mapping.end:
             raise MemoryError_(
                 "read of %d bytes at 0x%x crosses mapping end" % (length, addr)
@@ -153,16 +166,27 @@ class AddressSpace:
 
     def read_word(self, addr: int) -> int:
         """Read one signed 64-bit little-endian word."""
-        mapping = self.find_mapping(addr)
+        mapping = self._hot
+        if mapping is None or not (
+            mapping.base <= addr < mapping.base + len(mapping.data)
+        ):
+            mapping = self.find_mapping(addr)
         offset = addr - mapping.base
-        if offset + WORD_SIZE > mapping.size:
+        if offset + WORD_SIZE > len(mapping.data):
             raise MemoryError_("word read at 0x%x crosses mapping end" % addr)
         return _WORD.unpack_from(mapping.data, offset)[0]
 
     def write_word(self, addr: int, value: int) -> None:
         """Write one word, wrapping to the signed 64-bit range."""
-        mapping = self.find_mapping(addr)
+        mapping = self._hot
+        if mapping is None or not (
+            mapping.base <= addr < mapping.base + len(mapping.data)
+        ):
+            mapping = self.find_mapping(addr)
         offset = addr - mapping.base
-        if offset + WORD_SIZE > mapping.size:
+        if offset + WORD_SIZE > len(mapping.data):
             raise MemoryError_("word write at 0x%x crosses mapping end" % addr)
-        _WORD.pack_into(mapping.data, offset, to_signed_word(value))
+        if -9223372036854775808 <= value <= 9223372036854775807:
+            _WORD.pack_into(mapping.data, offset, value)
+        else:
+            _WORD.pack_into(mapping.data, offset, to_signed_word(value))

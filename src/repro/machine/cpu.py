@@ -61,23 +61,56 @@ class MachineFault(Exception):
         self.pc = pc
 
 
-@dataclass
 class StepEvent:
-    """Side information from executing one instruction."""
+    """Side information from executing one instruction.
 
-    syscall: Optional[SyscallResult] = None
-    is_indirect: bool = False
-    is_signal_delivery: bool = False
+    Allocated once per *event-producing* instruction (syscalls, halts) —
+    never per ordinary step — and ``__slots__``-backed so the rare
+    allocations that do happen stay cheap.
+    """
+
+    __slots__ = ("syscall", "is_indirect", "is_signal_delivery")
+
+    def __init__(
+        self,
+        syscall: Optional[SyscallResult] = None,
+        is_indirect: bool = False,
+        is_signal_delivery: bool = False,
+    ):
+        self.syscall = syscall
+        self.is_indirect = is_indirect
+        self.is_signal_delivery = is_signal_delivery
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "StepEvent(syscall=%r, is_indirect=%r, is_signal_delivery=%r)" % (
+            self.syscall, self.is_indirect, self.is_signal_delivery,
+        )
 
 
-@dataclass
 class Thread:
-    """One thread of execution: its register file and saved PC."""
+    """One thread of execution: its register file and saved PC.
 
-    tid: int
-    registers: List[int]
-    pc: int = 0
-    alive: bool = True
+    ``__slots__``-backed: thread objects are touched on every cooperative
+    switch and compared by identity (``threads.index``), so neither a
+    ``__dict__`` nor dataclass value-equality is wanted here.
+    """
+
+    __slots__ = ("tid", "registers", "pc", "alive")
+
+    def __init__(
+        self,
+        tid: int,
+        registers: List[int],
+        pc: int = 0,
+        alive: bool = True,
+    ):
+        self.tid = tid
+        self.registers = registers
+        self.pc = pc
+        self.alive = alive
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Thread(tid=%d, pc=0x%x, alive=%r)" % (self.tid, self.pc, self.alive)
 
 
 @dataclass
@@ -280,6 +313,91 @@ _LR = regs.LR
 _ZERO = regs.ZERO
 
 
+# -- per-op semantics shared by both dispatch tiers ---------------------------
+#
+# The engine executes translated traces in one of two tiers (see
+# repro.vm.engine): the *interpreted* reference tier (step_uop below) and
+# the *compiled* tier (repro.vm.compile), which specializes each trace
+# into a straight-line Python closure.  Everything the two tiers could
+# disagree on lives here, next to step_uop, so the semantics are
+# maintained in one place:
+#
+# * UOP_VALUE_EXPRESSIONS — the value computation of every ALU/move
+#   micro-op, as a Python expression template the compiler inlines.
+#   Placeholders: ``{rs1}``/``{rs2}`` are source register indexes,
+#   ``{imm}`` the literal immediate, ``{sh}`` the pre-masked shift
+#   amount (``imm & 63``).  ``r`` is the live register file.
+# * OVERFLOW_SAFE_OPS — ops whose result provably stays inside the
+#   signed 64-bit range, letting the compiler skip the wrap check that
+#   step_uop applies on every register write.
+# * syscall_uop_step / halt_step_event — the event-producing terminators,
+#   called (not inlined) by both tiers.
+#
+# The dispatch-equivalence suite (tests/test_dispatch_equivalence.py)
+# asserts the tiers produce bit-identical results over the full corpus.
+
+UOP_VALUE_EXPRESSIONS: Dict[int, str] = {
+    _ADD: "r[{rs1}] + r[{rs2}]",
+    _SUB: "r[{rs1}] - r[{rs2}]",
+    _MUL: "r[{rs1}] * r[{rs2}]",
+    _AND: "r[{rs1}] & r[{rs2}]",
+    _OR: "r[{rs1}] | r[{rs2}]",
+    _XOR: "r[{rs1}] ^ r[{rs2}]",
+    _SHL: "r[{rs1}] << (r[{rs2}] & 63)",
+    _SHR: "(r[{rs1}] & 18446744073709551615) >> (r[{rs2}] & 63)",
+    _SLT: "1 if r[{rs1}] < r[{rs2}] else 0",
+    _ADDI: "r[{rs1}] + {imm}",
+    _ANDI: "r[{rs1}] & {imm}",
+    _ORI: "r[{rs1}] | {imm}",
+    _XORI: "r[{rs1}] ^ {imm}",
+    _SHLI: "r[{rs1}] << {sh}",
+    _SHRI: "(r[{rs1}] & 18446744073709551615) >> {sh}",
+    _LUI: "{imm} << 16",
+    _MOVI: "{imm}",
+}
+
+#: Ops that cannot leave the signed 64-bit range: bitwise ops of in-range
+#: operands stay in range, SLT yields 0/1, MOVI/LUI immediates are 32-bit
+#: (so ``imm << 16`` fits in 48 bits).  SHRI is also safe when the masked
+#: shift amount is non-zero (the compiler checks per-site); SHR/SHL and
+#: the arithmetic ops keep the wrap check.
+OVERFLOW_SAFE_OPS = frozenset(
+    {_AND, _OR, _XOR, _ANDI, _ORI, _XORI, _SLT, _MOVI, _LUI}
+)
+
+
+def syscall_uop_step(machine: "Machine", next_pc: int):
+    """SYSCALL micro-op semantics, shared by both dispatch tiers.
+
+    Returns ``(resume_pc_or_None, StepEvent)`` exactly as
+    :meth:`ExecutionContext.step_uop` does for the SYSCALL opcode.
+    """
+    r = machine.registers
+    result = dispatch_syscall(
+        machine.os_state,
+        r[regs.RV],
+        [r[regs.A0], r[regs.A1], r[regs.A2], r[regs.A3]],
+        machine.process.space.read_bytes,
+    )
+    event = StepEvent(syscall=result)
+    if result.exited:
+        return None, event
+    r[regs.RV] = to_signed_word(result.value)
+    if result.signal_handler is not None:
+        # Deliver the signal: synchronous call of the handler.
+        event.is_signal_delivery = True
+        r[_LR] = next_pc
+        return result.signal_handler, event
+    return next_pc, event
+
+
+def halt_step_event() -> StepEvent:
+    """The HALT terminator's exit event, shared by both dispatch tiers."""
+    return StepEvent(
+        syscall=SyscallResult(exited=True, exit_status=0, name="halt")
+    )
+
+
 class ExecutionContext:
     """Executes instructions against a :class:`Machine`.
 
@@ -393,28 +511,11 @@ class ExecutionContext:
             r[_LR] = next_pc
             return target, None
         elif op == _SYSCALL:
-            result = dispatch_syscall(
-                machine.os_state,
-                r[regs.RV],
-                [r[regs.A0], r[regs.A1], r[regs.A2], r[regs.A3]],
-                machine.process.space.read_bytes,
-            )
-            event = StepEvent(syscall=result)
-            if result.exited:
-                return None, event
-            r[regs.RV] = to_signed_word(result.value)
-            if result.signal_handler is not None:
-                # Deliver the signal: synchronous call of the handler.
-                event.is_signal_delivery = True
-                r[_LR] = next_pc
-                return result.signal_handler, event
-            return next_pc, event
+            return syscall_uop_step(machine, next_pc)
         elif op == _NOP:
             return next_pc, None
         elif op == _HALT:
-            return None, StepEvent(
-                syscall=SyscallResult(exited=True, exit_status=0, name="halt")
-            )
+            return None, halt_step_event()
         else:
             raise MachineFault("illegal opcode 0x%02x" % op, pc)
 

@@ -94,6 +94,13 @@ class CacheFileError(Exception):
         self.section = section
 
 
+#: Successful-parse memo keyed on the exact file bytes (see
+#: :meth:`PersistentCache.from_bytes`).  Values are private templates;
+#: hits return detached copies.
+_PARSE_MEMO: dict = {}
+_PARSE_MEMO_CAP = 64
+
+
 def _crc(blob: bytes) -> int:
     return zlib.crc32(blob) & 0xFFFFFFFF
 
@@ -439,8 +446,36 @@ class PersistentCache:
         )
         return body + struct.pack("<I", _crc(body))
 
+    def _detached_copy(self) -> "PersistentCache":
+        """A container copy sharing the (never-mutated-in-place) records.
+
+        ``accumulate``/``drop_traces`` replace or extend the ``traces``
+        list and rebind ``image_keys`` entries; the ``PersistedTrace``
+        records themselves are immutable by convention, so two copies can
+        share them while each owning its own container state.
+        """
+        dup = PersistentCache(
+            vm_version=self.vm_version,
+            tool_identity=self.tool_identity,
+            app_path=self.app_path,
+            generation=self.generation,
+            feature_flags=self.feature_flags,
+        )
+        dup.traces = list(self.traces)
+        dup.image_keys = dict(self.image_keys)
+        return dup
+
     @classmethod
     def from_bytes(cls, blob: bytes) -> "PersistentCache":
+        # Content-keyed parse memo: warm persistent runs re-read the same
+        # file bytes every execution, and rebuilding thousands of
+        # directory records dominates the (otherwise cheap) cache load.
+        # Keying on the exact blob makes hits correct by construction;
+        # only successful parses are memoized, and every caller gets a
+        # detached container so mutations never leak between sessions.
+        template = _PARSE_MEMO.get(blob)
+        if template is not None:
+            return template._detached_copy()
         frame = _parse_frame(blob)
         header = frame.header
         try:
@@ -509,6 +544,9 @@ class PersistentCache:
         expected_data = sum(t.data_size for t in cache.traces)
         if expected_data != len(data_pool):
             raise CacheFileError("data pool size mismatch", section="data_pool")
+        if len(_PARSE_MEMO) >= _PARSE_MEMO_CAP:
+            _PARSE_MEMO.clear()
+        _PARSE_MEMO[bytes(blob)] = cache._detached_copy()
         return cache
 
     def save(self, path: str, storage: Optional[FileStorage] = None) -> None:

@@ -191,6 +191,12 @@ def revive_trace(
         index = 0 if point.kind == PointKind.TRACE_ENTRY else point.index
         points_by_index.setdefault(index, []).append(point)
 
+    # A revived trace never carries a compiled-tier closure: closures
+    # capture run-scoped objects (machine, stats, analysis context) and
+    # are host-level artifacts, so they are not persisted.  The compiled
+    # dispatcher specializes the trace lazily at its first execution —
+    # the same event its demand-load is charged to — so persistence and
+    # trace compilation compose with no extra simulated cost.
     translated = TranslatedTrace(
         trace=trace,
         code_bytes=persisted.code,
@@ -201,6 +207,7 @@ def revive_trace(
         liveness=list(persisted.liveness),
         links=[LinkSlot(exit=e) for e in exits],
         from_persistent=True,
+        compiled_body=None,
     )
     index_links(translated)
     return translated

@@ -227,7 +227,10 @@ class PersistentCacheSession:
 
         # Install the valid translations.  cache.insert links them among
         # themselves, recreating the persisted link web; the open cost
-        # already covers this (the file stores the links).
+        # already covers this (the file stores the links).  Preloaded
+        # residents are demand-paged: the first execution charges the
+        # trace+metadata load, and (under compiled dispatch) specializes
+        # the trace into its closure at the same point.
         from repro.vm.codecache import CacheFull
 
         for revived in preload:
@@ -397,6 +400,7 @@ class PersistentCacheSession:
         process = machine.process
 
         modified_pages = machine.modified_code_pages
+        accumulating = self._cache is not None and self.config.accumulate
         new_records: List[PersistedTrace] = []
         reused_records: List[PersistedTrace] = []
         for resident in cache.traces():
@@ -407,6 +411,10 @@ class PersistentCacheSession:
                 # "persistent caches only contain traces backed by a file
                 # on disk" (§3.2.1).
                 self.report_data.unbacked_skipped += 1
+                continue
+            if accumulating and resident.from_persistent:
+                # The loaded cache already holds this trace's record;
+                # re-converting it would only be thrown away below.
                 continue
             record = persist_trace(resident, process)
             if record is None:

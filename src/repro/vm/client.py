@@ -30,15 +30,45 @@ class PointKind(enum.IntEnum):
     BEFORE_INST = 1  # before the instruction at ``index`` executes
 
 
-@dataclass
 class AnalysisContext:
-    """Run-time information handed to analysis callbacks."""
+    """Run-time information handed to analysis callbacks.
 
-    address: int  # original address of the instrumented instruction
-    trace_entry: int  # original entry address of the containing trace
-    index: int  # instruction index within the trace
-    machine: "Machine"
-    effective_address: Optional[int] = None  # memory ops only
+    The dispatcher keeps **one** mutable context per run and updates its
+    fields in place before every callback (``__slots__``-backed: analysis
+    sites are the hottest allocation-free path in the engine).  Callbacks
+    must therefore read what they need during the call and never retain
+    the context object itself.
+    """
+
+    __slots__ = (
+        "address", "trace_entry", "index", "machine", "effective_address"
+    )
+
+    def __init__(
+        self,
+        address: int,
+        trace_entry: int,
+        index: int,
+        machine: "Machine",
+        effective_address: Optional[int] = None,
+    ):
+        #: Original address of the instrumented instruction.
+        self.address = address
+        #: Original entry address of the containing trace.
+        self.trace_entry = trace_entry
+        #: Instruction index within the trace.
+        self.index = index
+        self.machine = machine
+        #: Effective address, for memory ops whose point requested it.
+        self.effective_address = effective_address
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            "AnalysisContext(address=0x%x, trace_entry=0x%x, index=%d, "
+            "effective_address=%r)"
+            % (self.address, self.trace_entry, self.index,
+               self.effective_address)
+        )
 
 
 AnalysisCallback = Callable[[AnalysisContext], None]

@@ -111,9 +111,12 @@ class CodeCache:
         self.stats.traces_inserted += 1
 
         patches = 0
-        # Incoming: every pending exit that targets this entry.
+        # Incoming: every pending exit that targets this entry.  The
+        # resident itself is cached on the slot so following the patched
+        # link is a single attribute load, not a translation-map lookup.
         for slot in self._pending_links.pop(entry, ()):  # noqa: B020
             slot.linked_entry = entry
+            slot.linked_resident = translated
             patches += 1
         # Outgoing: link exits whose target is already resident, otherwise
         # queue them for when the target arrives.
@@ -121,8 +124,10 @@ class CodeCache:
             if not slot.is_linkable:
                 continue
             target = slot.exit.target
-            if target in self._by_entry:
+            resident = self._by_entry.get(target)
+            if resident is not None:
                 slot.linked_entry = target
+                slot.linked_resident = resident
                 patches += 1
             else:
                 self._pending_links.setdefault(target, []).append(slot)
@@ -140,12 +145,16 @@ class CodeCache:
             raise KeyError("no trace at 0x%x" % entry)
         self.code_used -= translated.code_size
         self.data_used -= translated.data_size
+        # The compiled-tier closure dies with its cache residency (SMC or
+        # module unload invalidated the code it specializes).
+        translated.invalidate_compiled()
         for other in self._by_entry.values():
             for slot in other.links:
                 if slot.linked_entry == entry:
-                    # Unlink and re-queue as pending: a future translation
-                    # at this entry must re-link the exit eagerly.
-                    slot.linked_entry = None
+                    # Unlink (both the entry and the cached resident) and
+                    # re-queue as pending: a future translation at this
+                    # entry must re-link the exit eagerly.
+                    slot.unlink()
                     self._pending_links.setdefault(entry, []).append(slot)
         # LinkSlot is a value-equal dataclass, so membership tests must
         # compare by identity here: two traces' slots with the same exit
@@ -172,6 +181,10 @@ class CodeCache:
     def flush(self) -> int:
         """Discard all translated code and data structures."""
         discarded = len(self._by_entry)
+        for translated in self._by_entry.values():
+            translated.invalidate_compiled()
+            for slot in translated.links:
+                slot.unlink()
         self._by_entry.clear()
         self._pending_links.clear()
         self.code_used = 0

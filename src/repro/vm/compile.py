@@ -1,0 +1,500 @@
+"""The trace-compilation tier: specialize traces into Python closures.
+
+The interpreted dispatcher (:meth:`repro.vm.engine.Engine` with
+``dispatch_mode="interpreted"``) re-pays Python-level interpretation cost
+on every micro-op: a ``step_uop`` call, a tuple unpack, and a long
+opcode-compare chain per instruction, plus per-callback context handling
+and per-step accounting.  That is exactly the overhead the source paper's
+engine avoids by *emitting* specialized code once and executing it many
+times — so this module does the same one level up: it compiles each
+:class:`~repro.vm.translator.TranslatedTrace` into **one straight-line
+Python closure** whose body inlines the trace's opcode semantics.
+
+Specializations applied per trace:
+
+* opcode semantics inlined from the shared per-op expression table
+  (:data:`repro.machine.cpu.UOP_VALUE_EXPRESSIONS`) — no ``step_uop``
+  call, no tuple dispatch, register indexes and immediates baked in as
+  literals;
+* the signed-64-bit wrap check is dropped for ops that provably cannot
+  overflow (:data:`repro.machine.cpu.OVERFLOW_SAFE_OPS`);
+* analysis-point checks are hoisted out entirely for traces with no
+  instrumentation; instrumented sites inline the callback invocation
+  against the run's single mutable :class:`AnalysisContext`;
+* instruction/cycle accounting is batched per exit: the step count to
+  every exit is a compile-time constant, so each exit performs one
+  counter add and one pre-multiplied ``charge_exec`` call;
+* branch exits resolve through link-slot locals captured at
+  specialization time.
+
+The closure's observable behavior is **bit-identical** to the interpreted
+tier: same registers/memory effects, same exception types and messages,
+same ``VMStats`` counters and the same cycle floats charged in the same
+order (cost-model products are folded at compile time, which produces the
+identical IEEE result to the runtime multiply).  The interpreted tier
+stays the reference oracle; ``tests/test_dispatch_equivalence.py``
+enforces the equivalence over the workloads corpus.
+
+Compiled bodies are plain Python objects attached to the resident trace
+(:attr:`TranslatedTrace.compiled_body`).  They are invalidated with the
+trace on code-cache eviction (self-modifying code, module unload) and
+flush, and are never persisted: a preloaded persistent trace recompiles
+lazily on its first execution, whose cost is already charged as the
+demand-load of the trace (simulated cycles are identical across tiers by
+construction — host-level compilation time is the price the simulator
+pays once to run many times faster).
+
+Generated **closure factories** are memoized in a module-level table
+keyed by everything the source bakes in (uops, entry, links, points,
+cost constants), so retranslating the same code — a warm persistent run,
+a second application sharing a library at the same base, a module reload
+— skips source generation and host compilation entirely and just
+re-binds the factory to the new run's captures.  The memo is this
+reproduction's own little persistent code cache, one meta-level up.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import INSTRUCTION_SIZE
+from repro.isa import registers as regs
+from repro.loader.mapper import to_signed_word
+from repro.machine.costs import CostModel
+from repro.machine.cpu import (
+    CODE_PAGE_SHIFT,
+    MachineFault,
+    OVERFLOW_SAFE_OPS,
+    UOP_VALUE_EXPRESSIONS,
+    halt_step_event,
+    syscall_uop_step,
+)
+from repro.vm.client import AnalysisContext, PointKind, ToolAccounting
+from repro.vm.stats import VMStats
+from repro.vm.trace import ExitKind
+from repro.vm.translator import TranslatedTrace
+
+#: Sentinel stored in ``TranslatedTrace.compiled_body`` when a trace
+#: cannot be specialized; the engine then executes it interpreted.
+UNCOMPILABLE = object()
+
+
+class CompileError(Exception):
+    """Raised when a trace cannot be specialized into a closure."""
+
+
+# Opcode integer constants (mirroring repro.machine.cpu's fast path).
+_NOP = 0x00
+_DIV = 0x04
+_SHRI = 0x15
+_LD, _ST = 0x20, 0x21
+_BEQ, _BNE, _BLT, _BGE = 0x30, 0x31, 0x32, 0x33
+_JMP, _CALL, _JR, _CALLR, _RET = 0x38, 0x39, 0x3A, 0x3B, 0x3C
+_SYSCALL, _HALT = 0x40, 0x41
+
+_BRANCH_CONDITIONS = {
+    _BEQ: "==",
+    _BNE: "!=",
+    _BLT: "<",
+    _BGE: ">=",
+}
+
+_INT64_MIN = -9223372036854775808
+_INT64_MAX = 9223372036854775807
+
+#: Memoized closure factories (the compiled ``_make`` functions), keyed
+#: by everything the generated source bakes in (see :func:`_trace_key`).
+#: A hit skips source generation, host compilation *and* the module
+#: ``exec`` — the factory is simply re-bound to the new run's captures.
+#: Bounded: the table is flushed wholesale when it outgrows the cap (the
+#: same reclamation policy the intra-execution code cache uses).
+_FACTORIES: Dict[tuple, object] = {}
+_FACTORIES_CAP = 8192
+
+
+def code_object_cache_size() -> int:
+    """Number of memoized closure factories (introspection/tests)."""
+    return len(_FACTORIES)
+
+
+def clear_code_object_cache() -> None:
+    """Drop every memoized factory (tests/benchmark hygiene)."""
+    _FACTORIES.clear()
+
+
+def _trace_key(translated: TranslatedTrace, cost: CostModel) -> tuple:
+    """Everything the generated source depends on, as a hashable key.
+
+    Two traces with equal keys generate byte-identical source: the uops
+    (all operands are baked as literals), the entry address (PCs are
+    baked), the exit/link structure, the instrumentation shape (labels,
+    charges, effective-address requests — callbacks themselves flow
+    through the capture namespace), and the cost-model constants folded
+    into charge literals.
+    """
+    trace = translated.trace
+    points_sig = tuple(
+        (0 if point.kind == PointKind.TRACE_ENTRY else point.index,
+         point.label, float(point.work_cycles),
+         bool(point.wants_effective_address))
+        for point in translated.points
+    )
+    links_sig = tuple(
+        (int(slot.exit.kind), slot.exit.index) for slot in translated.links
+    )
+    # The instruction operands are keyed via their *encoded* form:
+    # ``code_bytes`` starts with the body encoding, and hashing one bytes
+    # object is far cheaper than rebuilding the uop tuple-of-tuples.
+    return (
+        trace.entry,
+        translated.code_bytes,
+        links_sig,
+        points_sig,
+        cost.translated_inst,
+        cost.analysis_call,
+        cost.indirect_resolution,
+    )
+
+
+def _flt(value: float) -> str:
+    """A float literal that round-trips exactly (repr is lossless)."""
+    return repr(float(value))
+
+
+class _Emitter:
+    """Tiny indented-source builder."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def emit(self, line: str, depth: int = 2) -> None:
+        self.lines.append("    " * depth + line)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _store(
+    out: _Emitter, uses: set, rd: int, expr: str, *, may_overflow: bool
+) -> None:
+    """Emit a register write with the wrap check only when needed."""
+    if rd == regs.ZERO:
+        return  # writes to the zero register are discarded
+    if not may_overflow:
+        out.emit("r[%d] = %s" % (rd, expr))
+        return
+    uses.add("to_signed")
+    out.emit("v = %s" % expr)
+    out.emit(
+        "r[%d] = v if %d <= v <= %d else to_signed(v)"
+        % (rd, _INT64_MIN, _INT64_MAX)
+    )
+
+
+def _capture_lists(translated: TranslatedTrace):
+    """The run-varying objects a trace's closure captures, in the
+    canonical order both :meth:`TraceCompiler._generate` (naming) and
+    :meth:`TraceCompiler._captures` (binding on factory-memo hits) use:
+    the final slot first, then per instruction its analysis callbacks
+    followed by its branch slot."""
+    slots: List[object] = []
+    callbacks: List[object] = []
+    final = translated.final_slot
+    if final is not None:
+        slots.append(final)
+    points_by_index = translated.points_by_index
+    for index, inst in enumerate(translated.trace.instructions):
+        for point in points_by_index.get(index, ()):
+            callbacks.append(point.callback)
+        if inst.opcode in _BRANCH_CONDITIONS and inst.imm != 0:
+            slot = translated.branch_slots.get(index)
+            if slot is None:
+                raise CompileError(
+                    "conditional branch at %d has no link slot" % index
+                )
+            slots.append(slot)
+    return slots, callbacks
+
+
+class TraceCompiler:
+    """Per-run compiler: specializes traces against this run's context.
+
+    The compiler captures the run-scoped objects (machine, stats, tool
+    accounting, the shared mutable analysis context) so generated
+    closures reference them directly; a compiler — like the code cache it
+    feeds — never outlives its engine run.
+    """
+
+    def __init__(
+        self,
+        machine,
+        stats: VMStats,
+        accounting: ToolAccounting,
+        cost_model: CostModel,
+        analysis_context: AnalysisContext,
+    ):
+        self.machine = machine
+        self.stats = stats
+        self.accounting = accounting
+        self.cost = cost_model
+        self.acx = analysis_context
+        #: Traces specialized by this compiler (introspection/tests).
+        self.compiled_count = 0
+        #: Host code-object memo hits observed by this compiler.
+        self.code_memo_hits = 0
+        #: The run-scoped capture namespace, shared by every closure this
+        #: compiler builds (per-trace state travels separately).
+        self._context = SimpleNamespace(
+            machine=machine,
+            stats=stats,
+            to_signed=to_signed_word,
+            MachineFault=MachineFault,
+            read_word=machine.process.space.read_word,
+            write_word=machine.process.space.write_word,
+            pages=machine.executed_code_pages,
+            code_write=machine.on_code_write,
+            syscall_step=syscall_uop_step,
+            halt_event=halt_step_event,
+            acx=analysis_context,
+            record_call=accounting.record_call,
+        )
+
+    # -- public API -----------------------------------------------------------
+
+    def compile(self, translated: TranslatedTrace):
+        """Specialize ``translated``; attach and return the closure.
+
+        On failure the :data:`UNCOMPILABLE` sentinel is attached and
+        returned, and the engine executes the trace interpreted — the
+        tiers are observably identical, so falling back is always safe.
+        """
+        try:
+            key = _trace_key(translated, self.cost)
+            make = _FACTORIES.get(key)
+            slots, callbacks = _capture_lists(translated)
+            if make is None:
+                source = self._generate(translated, slots, callbacks)
+                code = compile(
+                    source, "<trace@0x%x>" % translated.entry, "exec"
+                )
+                namespace: Dict[str, object] = {}
+                exec(code, namespace)  # noqa: S102 - self-generated source
+                make = namespace["_make"]
+                if len(_FACTORIES) >= _FACTORIES_CAP:
+                    _FACTORIES.clear()
+                _FACTORIES[key] = make
+            else:
+                self.code_memo_hits += 1
+            body = make(self._context, slots, callbacks)
+        except CompileError:
+            translated.compiled_body = UNCOMPILABLE
+            return UNCOMPILABLE
+        translated.compiled_body = body
+        self.compiled_count += 1
+        return body
+
+    # -- code generation -------------------------------------------------------
+
+    def _generate(self, translated: TranslatedTrace, slots, callbacks) -> str:
+        """Produce the factory source for one trace.
+
+        The source defines ``_make(C, slots, callbacks)``, a factory that
+        binds the run-scoped capture namespace ``C`` plus this trace's
+        link slots and analysis callbacks (in the canonical
+        :func:`_capture_lists` order, so a memoized factory re-binds
+        correctly) into fast locals and returns the trace closure.
+        Everything trace-constant is baked into the source as literals.
+        """
+        trace = translated.trace
+        uops = trace.uops
+        n = len(uops)
+        if n == 0:
+            raise CompileError("empty trace")
+        entry = trace.entry
+        cost = self.cost
+        ti = cost.translated_inst
+        points_by_index = translated.points_by_index
+
+        slot_names = {id(slot): "slot%d" % i for i, slot in enumerate(slots)}
+
+        # The body is generated first so the factory preamble can bind
+        # only the captures this trace actually references: per-run
+        # re-binding of memoized factories is on the warm path, and most
+        # traces touch a small subset of the capture namespace.
+        uses: set = set()
+        emit = _Emitter()
+
+        def exit_accounting(steps: int, depth: int = 2) -> None:
+            # Inlined stats.charge_exec — same fields, same order, same
+            # pre-folded float literal, so the accumulation is
+            # bit-identical to the interpreted tier's method call.
+            lit = _flt(steps * ti)
+            emit.emit("stats.instructions_executed += %d" % steps, depth)
+            emit.emit("stats.translated_exec_cycles += %s" % lit, depth)
+            emit.emit("stats._total += %s" % lit, depth)
+
+        final = translated.final_slot
+        final_name = slot_names[id(final)] if final is not None else "None"
+
+        cb_index = 0
+        for index in range(n):
+            uop = uops[index]
+            op, rd, rs1, rs2, imm = uop
+            pc = entry + index * INSTRUCTION_SIZE
+
+            for point in points_by_index.get(index, ()):
+                cb = "cb%d" % cb_index
+                cb_index += 1
+                uses.add("acx")
+                uses.add("record_call")
+                emit.emit("acx.address = %d" % pc)
+                emit.emit("acx.trace_entry = %d" % entry)
+                emit.emit("acx.index = %d" % index)
+                if point.wants_effective_address and op in (_LD, _ST):
+                    emit.emit("acx.effective_address = r[%d] + %d" % (rs1, imm))
+                else:
+                    emit.emit("acx.effective_address = None")
+                emit.emit("%s(acx)" % cb)
+                charge = _flt(cost.analysis_call + point.work_cycles)
+                emit.emit("stats.analysis_cycles += %s" % charge)
+                emit.emit("stats._total += %s" % charge)
+                emit.emit("stats.analysis_calls += 1")
+                emit.emit(
+                    "record_call(%r, %s)" % (point.label or "point", charge)
+                )
+
+            if op in UOP_VALUE_EXPRESSIONS:
+                sh = imm & 63
+                expr = UOP_VALUE_EXPRESSIONS[op].format(
+                    rs1=rs1, rs2=rs2, imm=imm, sh=sh
+                )
+                may_overflow = op not in OVERFLOW_SAFE_OPS
+                if op == _SHRI and sh != 0:
+                    # A non-zero unsigned right shift cannot overflow.
+                    may_overflow = False
+                _store(emit, uses, rd, expr, may_overflow=may_overflow)
+            elif op == _LD:
+                uses.update(("read_word", "MachineFault"))
+                emit.emit("try:")
+                if rd == regs.ZERO:
+                    emit.emit("read_word(r[%d] + %d)" % (rs1, imm), 3)
+                else:
+                    # read_word yields an in-range signed word: no wrap check.
+                    emit.emit("r[%d] = read_word(r[%d] + %d)" % (rd, rs1, imm), 3)
+                emit.emit("except Exception as exc:")
+                emit.emit("raise MachineFault(str(exc), %d) from exc" % pc, 3)
+            elif op == _ST:
+                uses.update(
+                    ("write_word", "MachineFault", "pages", "code_write")
+                )
+                emit.emit("addr = r[%d] + %d" % (rs1, imm))
+                emit.emit("try:")
+                emit.emit("write_word(addr, r[%d])" % rs2, 3)
+                emit.emit("except Exception as exc:")
+                emit.emit("raise MachineFault(str(exc), %d) from exc" % pc, 3)
+                emit.emit("if (addr >> %d) in pages:" % CODE_PAGE_SHIFT)
+                emit.emit("code_write(addr)", 3)
+            elif op == _DIV:
+                uses.add("MachineFault")
+                emit.emit("d = r[%d]" % rs2)
+                emit.emit("if d == 0:")
+                emit.emit('raise MachineFault("division by zero", %d)' % pc, 3)
+                # int(a / b) truncates toward zero via float division —
+                # deliberately identical to step_uop, including its
+                # precision behavior for large operands.
+                _store(emit, uses, rd, "int(r[%d] / d)" % rs1, may_overflow=True)
+            elif op in _BRANCH_CONDITIONS:
+                if imm != 0:
+                    taken = pc + INSTRUCTION_SIZE + imm
+                    slot_name = slot_names[id(translated.branch_slots[index])]
+                    emit.emit(
+                        "if r[%d] %s r[%d]:"
+                        % (rs1, _BRANCH_CONDITIONS[op], rs2)
+                    )
+                    exit_accounting(index + 1, 3)
+                    emit.emit("return (%d, %s, None)" % (taken, slot_name), 3)
+                # A zero-offset taken branch lands on the fall-through
+                # address: indistinguishable from not-taken, stays inline.
+            elif op == _JMP:
+                exit_accounting(index + 1)
+                emit.emit("return (%d, %s, None)" % (imm, final_name))
+            elif op == _CALL:
+                emit.emit("r[%d] = %d" % (regs.LR, pc + INSTRUCTION_SIZE))
+                exit_accounting(index + 1)
+                emit.emit("return (%d, %s, None)" % (imm, final_name))
+            elif op in (_JR, _RET, _CALLR):
+                source_reg = regs.LR if op == _RET else rs1
+                emit.emit("target = r[%d]" % source_reg)
+                if op == _CALLR:
+                    emit.emit("r[%d] = %d" % (regs.LR, pc + INSTRUCTION_SIZE))
+                exit_accounting(index + 1)
+                self._emit_indirect_exit(emit, translated, final_name)
+            elif op == _SYSCALL:
+                uses.add("syscall_step")
+                emit.emit(
+                    "target, event = syscall_step(machine, %d)"
+                    % (pc + INSTRUCTION_SIZE)
+                )
+                exit_accounting(index + 1)
+                emit.emit("return (target, None, event)")
+            elif op == _HALT:
+                uses.add("halt_event")
+                emit.emit("event = halt_event()")
+                exit_accounting(index + 1)
+                emit.emit("return (None, None, event)")
+            elif op == _NOP:
+                pass
+            else:
+                raise CompileError("unknown opcode 0x%02x" % op)
+
+        last_op = uops[-1][0]
+        if last_op < _JMP:
+            # Instruction-limit fall-through exit.
+            exit_accounting(n)
+            emit.emit(
+                "return (%d, %s, None)"
+                % (entry + n * INSTRUCTION_SIZE, final_name)
+            )
+
+        out = _Emitter()
+        out.lines.append("def _make(C, slots, callbacks):")
+        out.emit("machine = C.machine", 1)
+        out.emit("stats = C.stats", 1)
+        for name in (
+            "to_signed", "MachineFault", "read_word", "write_word",
+            "pages", "code_write", "syscall_step", "halt_event", "acx",
+            "record_call",
+        ):
+            if name in uses:
+                out.emit("%s = C.%s" % (name, name), 1)
+        for i in range(len(slots)):
+            out.emit("slot%d = slots[%d]" % (i, i), 1)
+        for i in range(len(callbacks)):
+            out.emit("cb%d = callbacks[%d]" % (i, i), 1)
+        out.emit("def run():", 1)
+        out.emit("r = machine.registers")
+        out.lines.extend(emit.lines)
+        out.emit("return run", 1)
+        return out.source()
+
+    def _emit_indirect_exit(
+        self, emit: _Emitter, translated, final_name: str
+    ) -> None:
+        """Terminator through the indirect-target resolver.
+
+        Mirrors the interpreted dispatcher: an INDIRECT final exit pays
+        the hash-lookup charge and returns to the dispatcher slot-less;
+        any other final-exit kind (not reachable for JR/RET/CALLR traces
+        built by the selector, but persisted caches are data) leaves via
+        the final slot.
+        """
+        final = translated.final_slot
+        if final is not None and final.exit.kind == ExitKind.INDIRECT:
+            lit = _flt(self.cost.indirect_resolution)
+            emit.emit("stats.translated_exec_cycles += %s" % lit)
+            emit.emit("stats._total += %s" % lit)
+            emit.emit("stats.indirect_resolutions += 1")
+            emit.emit("return (target, None, None)")
+        else:
+            emit.emit("return (target, %s, None)" % final_name)

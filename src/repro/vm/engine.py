@@ -41,6 +41,7 @@ from repro.vm.codecache import (
     DEFAULT_CODE_POOL_BYTES,
     DEFAULT_DATA_POOL_BYTES,
 )
+from repro.vm.compile import TraceCompiler, UNCOMPILABLE
 from repro.vm.stats import VMStats
 from repro.vm.trace import ExitKind, TraceSelector
 from repro.vm.translator import TranslatedTrace, Translator
@@ -83,6 +84,13 @@ class VMConfig:
     #: the module reloads at the same base (module-aware translation,
     #: after Li et al.'s IA32EL work the paper discusses in §5).
     module_retention: bool = True
+    #: How translated traces execute: ``"compiled"`` specializes each
+    #: trace into a Python closure (repro.vm.compile) on its first
+    #: execution; ``"interpreted"`` walks uops through step_uop.  The
+    #: tiers are observably identical — same output, exit status, and
+    #: VMStats to the bit (see docs/performance.md); interpreted is the
+    #: reference oracle, compiled the fast default.
+    dispatch_mode: str = "compiled"
 
 
 @dataclass
@@ -121,6 +129,9 @@ class Engine:
         #: Set by the degradation backstop when a storage failure escapes
         #: the session: the rest of the run executes JIT-only.
         self._persistence_disabled = False
+        #: Per-run dispatch state (rebuilt by every run()).
+        self._compiler: Optional[TraceCompiler] = None
+        self._analysis_context: Optional[AnalysisContext] = None
 
     # -- public API -------------------------------------------------------------
 
@@ -156,6 +167,12 @@ class Engine:
         machine: Optional[Machine] = None,
     ) -> VMRunResult:
         """Execute ``process`` to completion under the VM."""
+        dispatch_mode = self.config.dispatch_mode
+        if dispatch_mode not in ("interpreted", "compiled"):
+            raise EngineError(
+                "unknown dispatch_mode %r (expected 'interpreted' or"
+                " 'compiled')" % (dispatch_mode,)
+            )
         machine = machine or Machine(process)
         machine.set_args(*args)
         stats = VMStats()
@@ -167,6 +184,19 @@ class Engine:
         translator = Translator(self.cost_model, self.tool)
         context = ExecutionContext(machine)
         accounting = ToolAccounting()
+        # One mutable analysis context per run, updated in place before
+        # every callback (no per-call allocation on the hot path).
+        self._analysis_context = AnalysisContext(
+            address=0, trace_entry=0, index=0, machine=machine
+        )
+        self._compiler = (
+            TraceCompiler(
+                machine, stats, accounting, self.cost_model,
+                self._analysis_context,
+            )
+            if dispatch_mode == "compiled"
+            else None
+        )
 
         self._persistence_disabled = False
         self._persist_hook("on_process_start", stats, machine, cache, stats)
@@ -224,7 +254,7 @@ class Engine:
                 if stashed.entry in _cache:
                     continue
                 for slot in stashed.links:
-                    slot.linked_entry = None  # re-link against residents
+                    slot.unlink()  # re-link against current residents
                 try:
                     _cache.insert(stashed)
                 except CacheFull:
@@ -350,6 +380,15 @@ class Engine:
         Returns ``(next_pc, exit_status, next_resident)`` where
         ``next_resident`` is the already-linked next trace when the exit
         was a patched direct link (control never left the cache).
+
+        Two tiers execute the trace body (identically — see
+        docs/performance.md): the compiled tier runs the trace's
+        specialized closure, built lazily on first execution; the
+        interpreted tier below is the reference oracle.  A preloaded
+        persistent trace arrives without a closure and compiles on its
+        first execution here — the same event its demand-load is charged
+        to, so persistence and compilation compose without any new
+        simulated cost.
         """
         cost = self.cost_model
         if translated.from_persistent and not translated.demand_loaded:
@@ -360,6 +399,24 @@ class Engine:
             translated.demand_loaded = True
         translated.executions += 1
 
+        compiler = self._compiler
+        if compiler is not None:
+            body = translated.compiled_body
+            if body is None:
+                body = compiler.compile(translated)
+            if body is not UNCOMPILABLE:
+                next_pc, slot, event = body()
+                if event is not None:
+                    return self._handle_syscall_exit(
+                        event, next_pc, machine, stats, exit_status
+                    )
+                if slot is not None:
+                    return self._leave_via_slot(
+                        slot, next_pc, cache, stats, exit_status
+                    )
+                return next_pc, exit_status, None
+            # Uncompilable trace: fall through to the interpreted oracle.
+
         trace = translated.trace
         uops = trace.uops
         entry = trace.entry
@@ -367,6 +424,7 @@ class Engine:
         registers = machine.registers
         points_by_index = translated.points_by_index
         step_uop = context.step_uop
+        acx = self._analysis_context
         index = 0
         steps = 0  # per-inst charges are batched at every exit point
 
@@ -385,15 +443,13 @@ class Engine:
                             uop_ = uops[index]
                             if uop_[0] in _MEMORY_OPS:
                                 effective = registers[uop_[2]] + uop_[4]
-                        point.callback(
-                            AnalysisContext(
-                                address=address,
-                                trace_entry=entry,
-                                index=index,
-                                machine=machine,
-                                effective_address=effective,
-                            )
-                        )
+                        # The run's single mutable context, updated in
+                        # place (callbacks must not retain it).
+                        acx.address = address
+                        acx.trace_entry = entry
+                        acx.index = index
+                        acx.effective_address = effective
+                        point.callback(acx)
                         charge = cost.analysis_call + point.work_cycles
                         stats.charge_analysis(charge)
                         stats.analysis_calls += 1
@@ -407,28 +463,9 @@ class Engine:
 
             if event is not None and event.syscall is not None:
                 flush_exec()
-                stats.charge_emulation(cost.syscall_emulation)
-                stats.syscalls_emulated += 1
-                result = event.syscall
-                if result.dlopen is not None or result.dlclose is not None:
-                    apply_module_event(machine, result)
-                    return next_pc, exit_status, None
-                if result.exited or result.spawn is not None or result.yielded:
-                    # Thread-affecting syscalls: possibly switch threads
-                    # (deterministic cooperative scheduling) or end the
-                    # process when the last thread exits — which is also
-                    # the persistent-cache write-back point (§3.2.2).
-                    next_pc, status = apply_thread_event(
-                        machine, result, next_pc
-                    )
-                    if next_pc is None:
-                        return None, status, None
-                    return next_pc, exit_status, None
-                if event.is_signal_delivery:
-                    stats.charge_emulation(cost.signal_emulation)
-                    stats.signals_emulated += 1
-                # Trace ends at the syscall; resume through the map.
-                return next_pc, exit_status, None
+                return self._handle_syscall_exit(
+                    event, next_pc, machine, stats, exit_status
+                )
 
             # Opcode ranges: 0x30-0x33 conditional, >= 0x38 unconditional
             # (see repro.isa.opcodes); integer compares keep this loop hot.
@@ -462,6 +499,42 @@ class Engine:
                     final, next_pc, cache, stats, exit_status
                 )
 
+    def _handle_syscall_exit(
+        self,
+        event,
+        next_pc: Optional[int],
+        machine: Machine,
+        stats: VMStats,
+        exit_status: int,
+    ) -> Tuple[Optional[int], int, Optional[TranslatedTrace]]:
+        """Leave a trace through its SYSCALL/HALT exit (both tiers).
+
+        The caller has already flushed the trace's exec charges; this
+        applies the emulation charges and the syscall's machine-level
+        effects (module load/unload, thread scheduling, signal delivery).
+        """
+        cost = self.cost_model
+        stats.charge_emulation(cost.syscall_emulation)
+        stats.syscalls_emulated += 1
+        result = event.syscall
+        if result.dlopen is not None or result.dlclose is not None:
+            apply_module_event(machine, result)
+            return next_pc, exit_status, None
+        if result.exited or result.spawn is not None or result.yielded:
+            # Thread-affecting syscalls: possibly switch threads
+            # (deterministic cooperative scheduling) or end the
+            # process when the last thread exits — which is also
+            # the persistent-cache write-back point (§3.2.2).
+            next_pc, status = apply_thread_event(machine, result, next_pc)
+            if next_pc is None:
+                return None, status, None
+            return next_pc, exit_status, None
+        if event.is_signal_delivery:
+            stats.charge_emulation(cost.signal_emulation)
+            stats.signals_emulated += 1
+        # Trace ends at the syscall; resume through the map.
+        return next_pc, exit_status, None
+
     def _leave_via_slot(
         self,
         slot,
@@ -472,18 +545,28 @@ class Engine:
     ) -> Tuple[Optional[int], int, Optional[TranslatedTrace]]:
         """Exit a trace through a (possibly linked) direct slot.
 
-        Linked exits chain straight to the next trace.  Unlinked exits
-        whose target is already resident take one VM round-trip to patch
-        the link (lazy linking), after which they chain for free.
+        A patched link chains straight to the next trace: one attribute
+        load (``linked_resident``, maintained by the code cache), no
+        translation-map lookup.  Unlinked exits whose target is already
+        resident take one VM round-trip to patch the link (lazy linking),
+        after which they chain for free.
         """
         if slot is None:
             return next_pc, exit_status, None
+        target = slot.linked_resident
+        if target is not None:
+            # Invariant: a linked_resident of a resident trace is itself
+            # resident (eviction unlinks every incoming slot).
+            return next_pc, exit_status, target
         if slot.is_linked:
+            # Link patched by insert() before residents were cached, or
+            # state revived from persistence: resolve and cache it.
             target = cache.lookup(slot.linked_entry)
             if target is not None:
+                slot.linked_resident = target
                 return next_pc, exit_status, target
             # Stale link (target evicted); fall back to the VM.
-            slot.linked_entry = None
+            slot.unlink()
         if slot.is_linkable:
             target = cache.lookup(slot.exit.target)
             if target is not None:
@@ -492,5 +575,6 @@ class Engine:
                 stats.vm_entries += 1
                 stats.link_patches += 1
                 slot.linked_entry = target.entry
+                slot.linked_resident = target
                 return next_pc, exit_status, target
         return next_pc, exit_status, None

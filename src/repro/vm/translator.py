@@ -55,11 +55,24 @@ class LinkSlot:
 
     ``linked_entry`` is the original entry address of the trace this exit
     has been patched to jump to directly, or None while the exit still
-    trampolines into the VM.
+    trampolines into the VM.  ``linked_resident`` caches the resident
+    trace object itself so a patched link is a single attribute load on
+    the dispatch hot path — no translation-map lookup.  Invariant: when
+    the owning trace is resident, ``linked_resident`` is either None or a
+    trace that is itself still resident (eviction clears both fields of
+    every incoming link; re-registration of stashed traces resets them).
     """
 
     exit: TraceExit
     linked_entry: Optional[int] = None
+    linked_resident: Optional["TranslatedTrace"] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def unlink(self) -> None:
+        """Drop the patch: the exit trampolines into the VM again."""
+        self.linked_entry = None
+        self.linked_resident = None
 
     @property
     def is_linked(self) -> bool:
@@ -99,6 +112,18 @@ class TranslatedTrace:
     branch_slots: Dict[int, LinkSlot] = field(default_factory=dict)
     #: The terminator/fall-through link slot (always the last exit).
     final_slot: Optional[LinkSlot] = None
+    #: The compiled-dispatch tier's specialized closure for this trace
+    #: (repro.vm.compile), or None while not (or no longer) compiled.
+    #: Holds the _UNCOMPILABLE sentinel when specialization failed and
+    #: the interpreted tier must execute this trace.  Invalidated with
+    #: the trace on eviction/flush; never persisted.
+    compiled_body: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def invalidate_compiled(self) -> None:
+        """Drop the compiled-tier closure (trace eviction/invalidation)."""
+        self.compiled_body = None
 
     @property
     def entry(self) -> int:
@@ -127,6 +152,30 @@ class TranslationResult:
     compile_cycles: float
 
 
+#: (opcode, rd, rs1, rs2) -> (written_mask, read_mask).  The register
+#: sets never depend on the immediate, so the key space is tiny and the
+#: memo turns the dominant per-instruction liveness cost (two frozenset
+#: constructions) into one dict probe.
+_REG_MASKS: Dict[tuple, tuple] = {}
+_REG_MASKS_CAP = 1 << 15
+
+
+def _register_masks(inst: Instruction) -> tuple:
+    key = (inst.opcode, inst.rd, inst.rs1, inst.rs2)
+    masks = _REG_MASKS.get(key)
+    if masks is None:
+        written = 0
+        for reg in inst.registers_written():
+            written |= 1 << reg
+        read = 0
+        for reg in inst.registers_read():
+            read |= 1 << reg
+        if len(_REG_MASKS) >= _REG_MASKS_CAP:
+            _REG_MASKS.clear()
+        masks = _REG_MASKS[key] = (written, read)
+    return masks
+
+
 def compute_liveness(trace: Trace) -> List[int]:
     """Backward liveness over the trace; one register bitmask per inst.
 
@@ -144,15 +193,15 @@ def compute_liveness(trace: Trace) -> List[int]:
         inst = trace.instructions[index]
         if index in exit_indices:
             live = all_live
-        written = 0
-        for reg in inst.registers_written():
-            written |= 1 << reg
-        read = 0
-        for reg in inst.registers_read():
-            read |= 1 << reg
+        written, read = _register_masks(inst)
         live = (live & ~written) | read
         result[index] = live
     return result
+
+
+# Stub building blocks (immutable, shared across all traces).
+_NOP = ins.nop()
+_JMP_DISPATCH = ins.jmp(0)
 
 
 def _emit_stub_code(trace: Trace, n_points: int) -> List[Instruction]:
@@ -168,9 +217,8 @@ def _emit_stub_code(trace: Trace, n_points: int) -> List[Instruction]:
         target = trace_exit.target or 0
         # Trampoline: materialize target, jump to dispatcher.
         stubs.append(ins.movi(regs.AT, target & 0x7FFFFFFF))
-        stubs.append(ins.jmp(0))
-    for _ in range(n_points * STUB_INSTS_PER_POINT):
-        stubs.append(ins.nop())
+        stubs.append(_JMP_DISPATCH)
+    stubs.extend([_NOP] * (n_points * STUB_INSTS_PER_POINT))
     return stubs
 
 

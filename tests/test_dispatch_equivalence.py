@@ -1,0 +1,270 @@
+"""Differential suite: the two dispatch tiers must be bit-identical.
+
+The engine executes traces either through the interpreted uop loop (the
+reference oracle) or through per-trace compiled closures
+(:mod:`repro.vm.compile`).  The tiers are an implementation detail of
+the *simulator*, so every observable of a run — output bytes, exit
+status, retired instruction count, every :class:`VMStats` counter and
+float cycle total, and the tool accounting — must match exactly, across
+every workload corpus, with and without persistence, and through the
+hard cases (self-modifying code, module unload/reload, instrumentation
+callbacks).
+
+Any divergence here means a closure specialization changed observable
+behavior, which docs/performance.md forbids.
+"""
+
+import pytest
+
+from repro.loader.linker import load_process
+from repro.persist.database import CacheDatabase
+from repro.persist.manager import PersistenceConfig
+from repro.tools import BBCountTool, InsCountTool, MemTraceTool
+from repro.vm.engine import Engine, VMConfig
+from repro.workloads.gui import build_gui_suite
+from repro.workloads.harness import run_vm
+from repro.workloads.oracle import PHASES, build_oracle
+from repro.workloads.regression import round_robin_cases
+from repro.workloads.spec2k import build_suite
+
+from tests.test_modules import make_workload as make_module_workload
+from tests.test_smc import build_smc_image
+
+MODES = ("interpreted", "compiled")
+
+
+def _config(mode):
+    return VMConfig(dispatch_mode=mode)
+
+
+def signature(result):
+    """Everything observable from a run, ready for exact comparison."""
+    return {
+        "output": result.output,
+        "exit_status": result.exit_status,
+        "instructions": result.instructions,
+        "stats": vars(result.stats),
+        "accounting": vars(result.tool_accounting),
+        "cache_traces": result.cache_traces,
+        "cache_code_bytes": result.cache_code_bytes,
+        "cache_data_bytes": result.cache_data_bytes,
+    }
+
+
+def assert_equivalent(run_one, context=""):
+    """``run_one(mode)`` must produce identical signatures per mode."""
+    results = {mode: run_one(mode) for mode in MODES}
+    sig_i = signature(results["interpreted"])
+    sig_c = signature(results["compiled"])
+    for key in sig_i:
+        assert sig_i[key] == sig_c[key], (context, key)
+    return results
+
+
+@pytest.fixture(scope="module")
+def spec_suite():
+    return build_suite()
+
+
+@pytest.fixture(scope="module")
+def gui_suite():
+    apps, _store = build_gui_suite()
+    return apps
+
+
+@pytest.fixture(scope="module")
+def oracle_workload():
+    return build_oracle()
+
+
+class TestCorpora:
+    def test_spec2k_train(self, spec_suite):
+        for name, workload in sorted(spec_suite.items()):
+            assert_equivalent(
+                lambda mode, wl=workload: run_vm(
+                    wl, "train", vm_config=_config(mode)
+                ),
+                context=("spec2k", name),
+            )
+
+    def test_gui_startup(self, gui_suite):
+        for name, app in sorted(gui_suite.items()):
+            assert_equivalent(
+                lambda mode, wl=app: run_vm(
+                    wl, "startup", vm_config=_config(mode)
+                ),
+                context=("gui", name),
+            )
+
+    def test_oracle_phases(self, oracle_workload):
+        for phase in PHASES:
+            assert_equivalent(
+                lambda mode, ph=phase: run_vm(
+                    oracle_workload, ph, vm_config=_config(mode)
+                ),
+                context=("oracle", phase),
+            )
+
+    def test_regression_sequence(self, spec_suite, tmp_path):
+        """The regression-farm pattern: a case sequence accumulating one
+        persistent cache — per-case equivalence across tiers."""
+        gcc = spec_suite["176.gcc"]
+        cases = round_robin_cases(gcc, ["ref-1", "ref-2"], rounds=2)
+
+        def run_sequence(mode):
+            db = CacheDatabase(str(tmp_path / ("regress-" + mode)))
+            return [
+                run_vm(workload, input_name,
+                       persistence=PersistenceConfig(database=db),
+                       vm_config=_config(mode))
+                for workload, input_name in cases
+            ]
+
+        sequences = {mode: run_sequence(mode) for mode in MODES}
+        for index, (res_i, res_c) in enumerate(
+            zip(sequences["interpreted"], sequences["compiled"])
+        ):
+            assert signature(res_i) == signature(res_c), ("case", index)
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("suite,name,input_name", [
+        ("gui", "gvim", "startup"),
+        ("spec", "176.gcc", "train"),
+    ])
+    def test_cold_and_warm(
+        self, suite, name, input_name, spec_suite, gui_suite, tmp_path
+    ):
+        workload = (gui_suite if suite == "gui" else spec_suite)[name]
+
+        def cold_warm(mode):
+            db = CacheDatabase(str(tmp_path / ("%s-%s" % (name, mode))))
+            cold = run_vm(workload, input_name,
+                          persistence=PersistenceConfig(database=db),
+                          vm_config=_config(mode))
+            warm = run_vm(workload, input_name,
+                          persistence=PersistenceConfig(database=db),
+                          vm_config=_config(mode))
+            return cold, warm
+
+        runs = {mode: cold_warm(mode) for mode in MODES}
+        for phase, index in (("cold", 0), ("warm", 1)):
+            sig_i = signature(runs["interpreted"][index])
+            sig_c = signature(runs["compiled"][index])
+            assert sig_i == sig_c, (name, phase)
+        # The warm runs really were warm (everything revived, nothing
+        # translated), so the compiled tier executed demand-loaded
+        # persistent traces, not freshly translated ones.
+        for mode in MODES:
+            assert runs[mode][1].stats.traces_translated == 0, mode
+
+
+class TestHardCases:
+    def test_self_modifying_code(self):
+        """SMC invalidation must behave identically: the closure of the
+        patched trace dies with its cache residency, and the patched
+        code executes (exit 99) under both tiers."""
+        results = assert_equivalent(
+            lambda mode: Engine(config=_config(mode)).run(
+                load_process(build_smc_image())
+            ),
+            context="smc",
+        )
+        assert results["compiled"].exit_status == 99
+        assert results["compiled"].stats.smc_invalidations > 0
+
+    def test_smc_with_persistence(self, tmp_path):
+        def cold_warm(mode):
+            from repro.persist.manager import PersistentCacheSession
+
+            db = CacheDatabase(str(tmp_path / ("smc-" + mode)))
+
+            def one():
+                session = PersistentCacheSession(
+                    PersistenceConfig(database=db)
+                )
+                return Engine(config=_config(mode), persistence=session).run(
+                    load_process(build_smc_image())
+                )
+
+            return one(), one()
+
+        runs = {mode: cold_warm(mode) for mode in MODES}
+        for index in (0, 1):
+            assert (signature(runs["interpreted"][index])
+                    == signature(runs["compiled"][index])), index
+        assert runs["compiled"][1].exit_status == 99
+
+    def test_module_reload(self, tmp_path):
+        """dlopen/dlclose cycles: unload evicts traces (and their
+        closures); reload re-registers retained translations."""
+        workload = make_module_workload(cycles=3, increment=5)
+        assert_equivalent(
+            lambda mode: run_vm(workload, "go", vm_config=_config(mode)),
+            context="module-reload",
+        )
+
+        def with_persistence(mode):
+            db = CacheDatabase(str(tmp_path / ("mod-" + mode)))
+            cold = run_vm(workload, "go",
+                          persistence=PersistenceConfig(database=db),
+                          vm_config=_config(mode))
+            warm = run_vm(workload, "go",
+                          persistence=PersistenceConfig(database=db),
+                          vm_config=_config(mode))
+            return cold, warm
+
+        runs = {mode: with_persistence(mode) for mode in MODES}
+        for index in (0, 1):
+            assert (signature(runs["interpreted"][index])
+                    == signature(runs["compiled"][index])), index
+
+
+class TestInstrumentation:
+    @pytest.mark.parametrize("tool_factory", [
+        BBCountTool, InsCountTool, MemTraceTool,
+    ])
+    def test_tool_state_matches(self, tool_factory, gui_suite):
+        """Analysis callbacks fire with identical context under both
+        tiers: final tool state (not just accounting) must agree."""
+        app = gui_suite["gftp"]
+        states = {}
+        results = {}
+        for mode in MODES:
+            tool = tool_factory()
+            results[mode] = run_vm(
+                app, "startup", tool=tool, vm_config=_config(mode)
+            )
+            states[mode] = vars(tool)
+        assert (signature(results["interpreted"])
+                == signature(results["compiled"]))
+        assert states["interpreted"] == states["compiled"]
+
+    def test_tool_with_persistence(self, gui_suite, tmp_path):
+        app = gui_suite["gqview"]
+
+        def cold_warm(mode):
+            db = CacheDatabase(str(tmp_path / ("tool-" + mode)))
+            runs = []
+            for _ in range(2):
+                tool = BBCountTool()
+                result = run_vm(app, "startup", tool=tool,
+                                persistence=PersistenceConfig(database=db),
+                                vm_config=_config(mode))
+                runs.append((signature(result), vars(tool)))
+            return runs
+
+        runs = {mode: cold_warm(mode) for mode in MODES}
+        assert runs["interpreted"] == runs["compiled"]
+
+
+class TestConfig:
+    def test_default_mode_is_compiled(self):
+        assert VMConfig().dispatch_mode == "compiled"
+
+    def test_unknown_mode_rejected(self, gui_suite):
+        from repro.vm.engine import EngineError
+
+        with pytest.raises(EngineError):
+            run_vm(gui_suite["dia"], "startup",
+                   vm_config=VMConfig(dispatch_mode="jit"))
