@@ -38,18 +38,37 @@ def test_wallclock_dispatch_tiers(record, tmp_path_factory):
 
     rows = []
     for name, family in sorted(results["workloads"].items()):
-        rows.append(
-            "%-16s interpreted %.3fs  compiled %.3fs  speedup %.2fx  "
-            "identical=%s"
-            % (name, family["interpreted_s"], family["compiled_s"],
-               family["speedup_x"], family["identical_results"])
-        )
+        if "interpreted_s" in family:
+            rows.append(
+                "%-18s interpreted %.3fs  compiled %.3fs  speedup %.2fx  "
+                "spread %.0f%%/%.0f%%  identical=%s"
+                % (name, family["interpreted_s"], family["compiled_s"],
+                   family["speedup_x"], family["interpreted_spread_pct"],
+                   family["compiled_spread_pct"],
+                   family["identical_results"])
+            )
+        else:
+            rows.append(
+                "%-18s cold %.3fs  warm %.3fs  speedup %.2fx  "
+                "host compiles %d/%d  identical=%s"
+                % (name, family["cold_s"], family["warm_s"],
+                   family["speedup_x"], family["host_compiles_cold"],
+                   family["host_compiles_warm"],
+                   family["identical_results"])
+            )
     record("wallclock_dispatch", "\n".join(rows))
 
-    # Both tiers must agree bit-for-bit on every family before any
+    # Both modes must agree bit-for-bit on every family before any
     # speedup is meaningful.
     for name, family in results["workloads"].items():
         assert family["identical_results"], name
+
+    # The sidecar's contract: a warm process revives every compiled
+    # body from disk and performs zero host compile() calls, while the
+    # cold sweep (sidecar disabled, factory memo cleared) pays them all.
+    sidecar = results["workloads"]["sidecar_cold_warm"]
+    assert sidecar["host_compiles_warm"] == 0, sidecar
+    assert sidecar["host_compiles_cold"] > 0, sidecar
 
     # The acceptance gate: compiled >= 1.5x on fig5a warm-persistent GUI
     # startup (the configuration Figure 5(a) celebrates).

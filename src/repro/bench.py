@@ -11,17 +11,26 @@ workload families the cycle-level benchmarks regenerate from the paper:
 * ``fig2b_gui``: plain GUI startup, no persistence (Figure 2(b)).
 * ``headline_spec``: the SPEC2K INT suite (Train inputs) plus the
   Oracle phases, no persistence.
+* ``sidecar_cold_warm``: compiled-tier GUI startup against a warm trace
+  database, cold host (factory memo cleared, sidecar disabled) vs. warm
+  sidecar (factories revived from ``compiled-bodies.pcs``).  The gap is
+  exactly the host ``compile()`` cost the sidecar removes from a fresh
+  process; the report also carries the host-compile counts per mode.
 
 Methodology: each family is timed as a full sweep (every workload in
-the family, sequentially) under each dispatch mode.  Sweeps run
-``warmup`` untimed repetitions first — standard JIT-benchmark practice,
-here amortizing the host ``compile()`` of trace closures, which the
-factory memo (:mod:`repro.vm.compile`) shares across runs exactly like
-the paper's persistent code cache shares translations across
-executions — then ``reps`` timed repetitions; the score is the minimum
-(least-noise) repetition.  Before timing, one run per mode is compared
-field-for-field (output, exit status, every :class:`VMStats` counter)
-so a reported speedup can never come from divergent behavior.
+the family, sequentially) under each mode.  Sweeps run ``warmup``
+untimed repetitions first — standard JIT-benchmark practice, here
+amortizing the host ``compile()`` of trace closures, which the factory
+memo (:mod:`repro.vm.compile`) shares across runs exactly like the
+paper's persistent code cache shares translations across executions —
+then ``reps`` timed repetitions.  The headline score stays the minimum
+(least-noise) repetition; each mode additionally reports a trimmed mean
+(the highest rep dropped, since timing noise only inflates) and the
+max-over-min spread so a surprising headline can be sanity-checked
+against run-to-run noise without rerunning.  Before timing, one run per
+mode is compared field-for-field (output, exit status, every
+:class:`VMStats` counter) so a reported speedup can never come from
+divergent behavior.
 
 The result dictionary is also written as ``BENCH_wallclock.json`` at
 the repository root by :func:`run_wallclock` when ``out_path`` is given
@@ -58,42 +67,72 @@ def _result_signature(result) -> tuple:
     return (result.output, result.exit_status, vars(result.stats))
 
 
+def _sweep_stats(samples: List[float]) -> Dict[str, float]:
+    """Headline statistics for one mode's timed repetitions.
+
+    ``min`` stays the headline (least-noise: host noise only ever
+    inflates a rep).  The trimmed mean (highest rep dropped, given
+    enough reps) and the max-over-min spread are reported alongside so
+    a surprising headline is auditable against run-to-run noise.
+    """
+    ordered = sorted(samples)
+    trimmed = ordered[:-1] if len(ordered) >= 3 else ordered
+    return {
+        "min_s": ordered[0],
+        "trimmed_mean_s": sum(trimmed) / len(trimmed),
+        "spread_pct": (
+            100.0 * (ordered[-1] - ordered[0]) / ordered[0]
+            if ordered[0] > 0 else 0.0
+        ),
+    }
+
+
 def _measure_family(
-    sweep: Callable[[str], list], warmup: int, reps: int
+    sweep: Callable[[str], list],
+    warmup: int,
+    reps: int,
+    modes: Tuple[str, str] = _MODES,
 ) -> Dict[str, object]:
+    """Time ``sweep`` under two modes; first mode is the baseline."""
+    baseline, contender = modes
     signatures = {mode: [_result_signature(r) for r in sweep(mode)]
-                  for mode in _MODES}
-    identical = signatures["interpreted"] == signatures["compiled"]
+                  for mode in modes}
+    identical = signatures[baseline] == signatures[contender]
     for _ in range(warmup):
-        for mode in _MODES:
+        for mode in modes:
             sweep(mode)
     # Reps are interleaved (i, c, i, c, ...) so slow host-frequency /
     # load drift hits both modes equally instead of biasing whichever
     # mode happens to be timed last; the cycle collector is paused during
     # timed reps so its pauses cannot land in one mode's window.
-    times: Dict[str, List[float]] = {mode: [] for mode in _MODES}
+    times: Dict[str, List[float]] = {mode: [] for mode in modes}
     gc_was_enabled = gc.isenabled()
     gc.collect()
     gc.disable()
     try:
         for _ in range(reps):
-            for mode in _MODES:
+            for mode in modes:
                 start = time.perf_counter()
                 sweep(mode)
                 times[mode].append(time.perf_counter() - start)
     finally:
         if gc_was_enabled:
             gc.enable()
-    best_i = min(times["interpreted"])
-    best_c = min(times["compiled"])
-    return {
-        "interpreted_s": best_i,
-        "compiled_s": best_c,
-        "speedup_x": best_i / best_c,
-        "reps_interpreted_s": times["interpreted"],
-        "reps_compiled_s": times["compiled"],
+    stats = {mode: _sweep_stats(times[mode]) for mode in modes}
+    family: Dict[str, object] = {
+        "speedup_x": stats[baseline]["min_s"] / stats[contender]["min_s"],
+        "speedup_trimmed_x": (
+            stats[baseline]["trimmed_mean_s"]
+            / stats[contender]["trimmed_mean_s"]
+        ),
         "identical_results": identical,
     }
+    for mode in modes:
+        family["%s_s" % mode] = stats[mode]["min_s"]
+        family["%s_trimmed_s" % mode] = stats[mode]["trimmed_mean_s"]
+        family["%s_spread_pct" % mode] = stats[mode]["spread_pct"]
+        family["reps_%s_s" % mode] = times[mode]
+    return family
 
 
 def _config(mode: str) -> VMConfig:
@@ -150,6 +189,57 @@ def _headline_spec_sweep() -> Callable[[str], list]:
     return sweep
 
 
+def _sidecar_cold_warm_sweep(scratch_dir: str):
+    """Cold vs. warm host-compile cost of the compiled-body sidecar.
+
+    Both modes run the compiled tier against a warm per-app trace
+    database, so no translation happens and the tiers' simulated work is
+    identical.  ``cold`` clears the in-process factory memo and disables
+    the sidecar before each sweep — every trace pays a fresh host
+    ``compile()``, the first-run-of-a-new-process cost.  ``warm`` also
+    clears the memo but revives every factory from the on-disk sidecar.
+    The wall-clock gap is exactly the host-compile work the sidecar
+    removes; the per-mode host-compile counts are reported so CI can
+    assert the warm path performs zero host ``compile()`` calls.
+    """
+    from repro.vm.compile import clear_code_object_cache
+
+    apps, _store = build_gui_suite()
+    ordered = sorted(apps.items())
+    databases = {}
+    for name, app in ordered:
+        db = CacheDatabase(os.path.join(scratch_dir, "sidecar-" + name))
+        # Cold run populates the trace cache and the sidecar (untimed).
+        run_vm(app, "startup", persistence=PersistenceConfig(database=db),
+               vm_config=_config("compiled"))
+        databases[name] = db
+    host_compiles = {"cold": 0, "warm": 0}
+
+    def sweep(mode: str) -> list:
+        clear_code_object_cache()
+        results = [
+            run_vm(app, "startup",
+                   persistence=PersistenceConfig(
+                       database=databases[name],
+                       sidecar=(mode == "warm"),
+                   ),
+                   vm_config=_config("compiled"))
+            for name, app in ordered
+        ]
+        host_compiles[mode] = sum(
+            r.persistence_report["sidecar_host_compiles"] for r in results
+        )
+        return results
+
+    def extras() -> Dict[str, object]:
+        return {
+            "host_compiles_cold": host_compiles["cold"],
+            "host_compiles_warm": host_compiles["warm"],
+        }
+
+    return sweep, extras
+
+
 def run_wallclock(
     scratch_dir: str,
     warmup: int = 1,
@@ -167,10 +257,18 @@ def run_wallclock(
         families: Subset of family names to run (default: all).
         out_path: When given, the result dict is written there as JSON.
     """
-    builders: Dict[str, Callable[[], Callable[[str], list]]] = {
-        "fig5a_gui": lambda: _fig5a_gui_sweep(scratch_dir),
-        "fig2b_gui": _fig2b_gui_sweep,
-        "headline_spec": _headline_spec_sweep,
+    # Each builder yields (sweep, modes, extras): the two timed modes
+    # (baseline first) and an optional post-measurement extras callable
+    # whose keys are merged into the family dict.
+    def _build_sidecar():
+        sweep, extras = _sidecar_cold_warm_sweep(scratch_dir)
+        return sweep, ("cold", "warm"), extras
+
+    builders: Dict[str, Callable[[], tuple]] = {
+        "fig5a_gui": lambda: (_fig5a_gui_sweep(scratch_dir), _MODES, None),
+        "fig2b_gui": lambda: (_fig2b_gui_sweep(), _MODES, None),
+        "headline_spec": lambda: (_headline_spec_sweep(), _MODES, None),
+        "sidecar_cold_warm": _build_sidecar,
     }
     selected = families if families is not None else tuple(builders)
     unknown = [name for name in selected if name not in builders]
@@ -179,7 +277,11 @@ def run_wallclock(
 
     workloads: Dict[str, object] = {}
     for name in selected:
-        workloads[name] = _measure_family(builders[name](), warmup, reps)
+        sweep, modes, extras = builders[name]()
+        family = _measure_family(sweep, warmup, reps, modes=modes)
+        if extras is not None:
+            family.update(extras())
+        workloads[name] = family
 
     results: Dict[str, object] = {
         "host": {

@@ -228,7 +228,7 @@ def cmd_cache_fsck(args) -> int:
         # Damage found while merely opening the database (corrupt index).
         print("%-12s %s: %s" % (kind, filename, reason))
     report = db.fsck(quarantine=args.quarantine)
-    if not report.items and not db.events:
+    if not report.items and not report.notes and not db.events:
         print("(empty database: nothing to check)")
         return 0
     rows = [
@@ -242,6 +242,11 @@ def cmd_cache_fsck(args) -> int:
     ]
     if rows:
         print(format_table(rows, columns=["file", "status", "section", "detail"]))
+    for note in report.notes:
+        # Informational findings (stale or orphaned sidecar): worth
+        # surfacing, but not damage — they never flip the exit code.
+        print("note: %s %s: %s" % (note.filename, note.status,
+                                   note.detail or ""))
     for filename in report.quarantined:
         print("quarantined: %s" % filename)
     healthy = report.clean and not db.events
@@ -271,24 +276,53 @@ def cmd_bench(args) -> int:
             out_path=out_path,
         )
 
-    rows = []
+    tier_rows, sidecar_rows = [], []
     for name, family in sorted(results["workloads"].items()):
-        rows.append(
-            {
-                "workload": name,
-                "interpreted_s": "%.3f" % family["interpreted_s"],
-                "compiled_s": "%.3f" % family["compiled_s"],
-                "speedup_x": "%.2f" % family["speedup_x"],
-                "identical": str(family["identical_results"]),
-            }
-        )
-    print(format_table(
-        rows,
-        columns=["workload", "interpreted_s", "compiled_s", "speedup_x",
-                 "identical"],
-        title="Wall-clock dispatch benchmark (best of %d, %d warmup)"
-              % (args.reps, args.warmup),
-    ))
+        if "interpreted_s" in family:
+            tier_rows.append(
+                {
+                    "workload": name,
+                    "interpreted_s": "%.3f" % family["interpreted_s"],
+                    "compiled_s": "%.3f" % family["compiled_s"],
+                    "speedup_x": "%.2f" % family["speedup_x"],
+                    "spread": "%.0f%%/%.0f%%" % (
+                        family["interpreted_spread_pct"],
+                        family["compiled_spread_pct"],
+                    ),
+                    "identical": str(family["identical_results"]),
+                }
+            )
+        else:
+            # The sidecar family times cold vs. warm host-compile cost
+            # under the compiled tier, so its columns differ.
+            sidecar_rows.append(
+                {
+                    "workload": name,
+                    "cold_s": "%.3f" % family["cold_s"],
+                    "warm_s": "%.3f" % family["warm_s"],
+                    "speedup_x": "%.2f" % family["speedup_x"],
+                    "host_compiles": "%d/%d" % (
+                        family["host_compiles_cold"],
+                        family["host_compiles_warm"],
+                    ),
+                    "identical": str(family["identical_results"]),
+                }
+            )
+    if tier_rows:
+        print(format_table(
+            tier_rows,
+            columns=["workload", "interpreted_s", "compiled_s", "speedup_x",
+                     "spread", "identical"],
+            title="Wall-clock dispatch benchmark (best of %d, %d warmup)"
+                  % (args.reps, args.warmup),
+        ))
+    if sidecar_rows:
+        print(format_table(
+            sidecar_rows,
+            columns=["workload", "cold_s", "warm_s", "speedup_x",
+                     "host_compiles", "identical"],
+            title="Compiled-body sidecar: cold vs. warm host compile()",
+        ))
     print("results written to %s" % out_path)
 
     gate = results["gate"]
@@ -311,6 +345,17 @@ def cmd_bench(args) -> int:
                   and family["speedup_x"] >= threshold)
             if not ok:
                 return 1
+    if args.check and "sidecar_cold_warm" in results["workloads"]:
+        family = results["workloads"]["sidecar_cold_warm"]
+        warm_ok = (family["identical_results"]
+                   and family["host_compiles_warm"] == 0)
+        print(
+            "sidecar: host compiles cold=%d warm=%d -> %s"
+            % (family["host_compiles_cold"], family["host_compiles_warm"],
+               "PASS" if warm_ok else "FAIL")
+        )
+        if not warm_ok:
+            return 1
     return 0
 
 
@@ -400,7 +445,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--reps", type=int, default=5,
                      help="timed repetitions per family/mode (default 5)")
     sub.add_argument("--family", action="append",
-                     choices=("fig5a_gui", "fig2b_gui", "headline_spec"),
+                     choices=("fig5a_gui", "fig2b_gui", "headline_spec",
+                              "sidecar_cold_warm"),
                      help="run only this family (repeatable; default all)")
     sub.add_argument("--out", metavar="PATH",
                      help="result JSON path (default BENCH_wallclock.json "

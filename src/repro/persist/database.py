@@ -43,6 +43,13 @@ from repro.persist.cachefile import (
     verify_sections,
 )
 from repro.persist.keys import MappingKey, tool_key, vm_key
+from repro.persist.sidecar import (
+    CompiledBodyStore,
+    SIDECAR_NAME,
+    SidecarError,
+    sidecar_staleness,
+    verify_sidecar,
+)
 from repro.persist.storage import FileStorage, TMP_SUFFIX
 
 INDEX_NAME = "index.json"
@@ -68,7 +75,8 @@ class FsckItem:
     """Health of one database file, as reported by :meth:`fsck`."""
 
     filename: str
-    status: str  # "ok" | "missing" | "corrupt" | "orphan" | "stale-tmp"
+    #: "ok" | "missing" | "corrupt" | "orphan" | "stale-tmp" | "stale-vm"
+    status: str
     section: str = ""
     detail: str = ""
 
@@ -79,6 +87,13 @@ class FsckReport:
 
     items: List[FsckItem] = field(default_factory=list)
     quarantined: List[str] = field(default_factory=list)
+    #: Informational findings that do not make the database unhealthy:
+    #: a compiled-body sidecar that is stale (other VM version / host
+    #: bytecode format) or orphaned (no indexed caches to serve).  Both
+    #: are expected states — the next warm run rewrites the sidecar
+    #: under current keys — unlike ``items`` damage, which marks bytes
+    #: that can never be used again.
+    notes: List[FsckItem] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -306,6 +321,70 @@ class CacheDatabase:
             self.events.append(("io-error", entry.filename, str(exc)))
             return None
 
+    # -- compiled-body sidecar ----------------------------------------------
+
+    def _sidecar_path(self) -> str:
+        return os.path.join(self.directory, SIDECAR_NAME)
+
+    def open_sidecar(self, vm_version: str):
+        """Load the compiled-body sidecar; returns ``(store, state)``.
+
+        Failure policy mirrors the trace cache's, but without degrading
+        anything — the sidecar is a pure host-side accelerator:
+
+        * missing file → a fresh empty store (state ``"fresh"``);
+        * structurally damaged → quarantined (moved aside, never
+          deleted) and a fresh store (state ``"quarantined"``);
+        * valid but keyed to another VM version or host bytecode format
+          → ignored *wholesale* and a fresh store under the current keys
+          (state ``"stale-vm"``) — the next write-back replaces it;
+        * unreadable (IO error) → ``(None, "io-error")``; the caller
+          runs without a sidecar this session.
+        """
+        path = self._sidecar_path()
+        if not self.storage.exists(path):
+            return CompiledBodyStore.fresh(vm_version), "fresh"
+        try:
+            blob = self.storage.read_bytes(path)
+        except OSError as exc:
+            self.events.append(("io-error", SIDECAR_NAME, str(exc)))
+            return None, "io-error"
+        try:
+            store = CompiledBodyStore.from_bytes(blob)
+        except SidecarError as exc:
+            self._quarantine(
+                SIDECAR_NAME,
+                "damaged %s: %s" % (exc.section or "unknown", exc),
+            )
+            return CompiledBodyStore.fresh(vm_version), "quarantined"
+        if not store.matches_host(vm_version):
+            return CompiledBodyStore.fresh(vm_version), "stale-vm"
+        return store, "loaded"
+
+    def store_sidecar(self, store: CompiledBodyStore) -> int:
+        """Write the sidecar back; returns the entry count written.
+
+        Runs under the database lock with a merge re-read, like
+        :meth:`store`: entries another session persisted since we opened
+        are folded in (when compatibly keyed), so concurrent sessions
+        never lose each other's bodies.  The write itself is the same
+        atomic write-replace every database file uses.
+        """
+        path = self._sidecar_path()
+        with self.storage.lock(self._lock_path):
+            if self.storage.exists(path):
+                try:
+                    existing = CompiledBodyStore.from_bytes(
+                        self.storage.read_bytes(path)
+                    )
+                except (SidecarError, OSError):
+                    existing = None  # damaged/unreadable: overwrite
+                if existing is not None and existing.compatible_with(store):
+                    for digest, blob in existing.entries.items():
+                        store.entries.setdefault(digest, blob)
+            self.storage.write_atomic(path, store.to_bytes())
+        return len(store.entries)
+
     def clear(self) -> None:
         """Remove every cache file and reset the index."""
         for entry in self._entries:
@@ -317,15 +396,21 @@ class CacheDatabase:
 
     # -- consistency check --------------------------------------------------
 
-    def fsck(self, quarantine: bool = False) -> FsckReport:
+    def fsck(
+        self, quarantine: bool = False, vm_version: Optional[str] = None
+    ) -> FsckReport:
         """Validate every indexed file section by section.
 
         Also reports files the index does not know about (orphans, e.g.
-        after an index reset) and leftover ``.tmp`` files from
-        interrupted atomic writes.  With ``quarantine=True`` damaged
-        indexed files are moved aside and dropped from the index.
+        after an index reset), leftover ``.tmp`` files from interrupted
+        atomic writes, and the compiled-body sidecar (CRC verification
+        plus wholesale staleness against ``vm_version`` — defaulting to
+        the running VM's — and the host bytecode tag).  With
+        ``quarantine=True`` damaged indexed files and a damaged sidecar
+        are moved aside (and indexed files dropped from the index).
         """
         report = FsckReport()
+        self._fsck_sidecar(report, quarantine, vm_version)
         indexed = set()
         for entry in list(self._entries):
             indexed.add(entry.filename)
@@ -356,7 +441,7 @@ class CacheDatabase:
             path = os.path.join(self.directory, filename)
             if filename in indexed or os.path.isdir(path):
                 continue
-            if filename in (INDEX_NAME, LOCK_NAME):
+            if filename in (INDEX_NAME, LOCK_NAME, SIDECAR_NAME):
                 continue
             if filename.endswith(TMP_SUFFIX):
                 report.items.append(
@@ -371,3 +456,61 @@ class CacheDatabase:
                     FsckItem(filename, "orphan", detail="not in the index")
                 )
         return report
+
+    def _fsck_sidecar(
+        self,
+        report: FsckReport,
+        quarantine: bool,
+        vm_version: Optional[str],
+    ) -> None:
+        """Health-check the compiled-body sidecar for :meth:`fsck`."""
+        path = self._sidecar_path()
+        if not self.storage.exists(path):
+            return
+        try:
+            blob = self.storage.read_bytes(path)
+        except OSError as exc:
+            report.items.append(
+                FsckItem(SIDECAR_NAME, "corrupt", detail=str(exc))
+            )
+            return
+        damage = verify_sidecar(blob)
+        if damage:
+            for section, reason in sorted(damage.items()):
+                report.items.append(
+                    FsckItem(SIDECAR_NAME, "corrupt", section, reason)
+                )
+            if quarantine:
+                self._quarantine(SIDECAR_NAME, "fsck: %s" % damage)
+                report.quarantined.append(SIDECAR_NAME)
+            return
+        if vm_version is None:
+            # Layering note: persist/ never imports vm/ at module scope;
+            # the default current-VM stamp is resolved lazily here.
+            from repro.vm.engine import VM_VERSION
+
+            vm_version = VM_VERSION
+        stale = sidecar_staleness(blob, vm_version)
+        if stale is not None:
+            # Stale entries are unreachable as a whole (wholesale
+            # invalidation), not damaged: note, never quarantine — the
+            # next warm run simply rewrites the file under current keys.
+            report.notes.append(
+                FsckItem(SIDECAR_NAME, "stale-vm", detail=stale)
+            )
+            return
+        if not self._entries:
+            store = CompiledBodyStore.from_bytes(blob)
+            if len(store):
+                report.notes.append(
+                    FsckItem(
+                        SIDECAR_NAME,
+                        "orphan",
+                        detail=(
+                            "%d compiled bodies but no indexed caches to"
+                            " revive them for" % len(store)
+                        ),
+                    )
+                )
+                return
+        report.items.append(FsckItem(SIDECAR_NAME, "ok"))

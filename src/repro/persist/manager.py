@@ -67,6 +67,11 @@ class PersistenceConfig:
     #: For inter-application database lookups: skip the running app's own
     #: caches so reuse is genuinely cross-application.
     exclude_own_app: bool = True
+    #: Use the compiled-body sidecar (repro.persist.sidecar): revive host
+    #: code objects for the compiled dispatch tier and record new ones at
+    #: write-back.  Purely host-side — disabling it changes nothing
+    #: observable (cold-compile benchmarking, diagnosis).
+    sidecar: bool = True
 
 
 @dataclass
@@ -95,6 +100,20 @@ class PersistenceReport:
     degraded_reason: str = ""
     #: Count of storage-level failures absorbed by the session.
     storage_errors: int = 0
+    #: Compiled-body sidecar lifecycle this session (host-side only; see
+    #: repro.persist.sidecar): how the open went ("disabled", "fresh",
+    #: "loaded", "stale-vm", "quarantined", "io-error", "write-error").
+    sidecar_state: str = "disabled"
+    #: Entries available after the open (revivable compiled bodies).
+    sidecar_entries: int = 0
+    #: Factory code objects revived from the sidecar (host compile()s
+    #: skipped) and host compile()s actually paid, from the compiler.
+    sidecar_hits: int = 0
+    sidecar_host_compiles: int = 0
+    #: Whether the write-back persisted the sidecar, and how many bodies
+    #: this process contributed that were not on disk before.
+    sidecar_written: bool = False
+    sidecar_new_entries: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return dict(self.__dict__)
@@ -127,10 +146,21 @@ class PersistentCacheSession:
         #: Set after a storage failure: the session runs JIT-only from
         #: then on (no reuse, no further write-back attempts).
         self._degraded = False
+        #: The compiled-body sidecar store attached to this run's
+        #: compiler, or None (interpreted mode, sidecar disabled, or no
+        #: database).  Host-side only; see repro.persist.sidecar.
+        self._body_store = None
 
     # -- engine hooks ------------------------------------------------------------
 
     def on_process_start(self, engine, machine, cache, stats) -> None:
+        self._start(engine, machine, cache, stats)
+        # The sidecar attaches last, after the quarantine-event sync, so
+        # a damaged sidecar is never mistaken for a damaged trace cache:
+        # it cannot degrade the session or touch VMStats.
+        self._attach_sidecar(engine)
+
+    def _start(self, engine, machine, cache, stats) -> None:
         process = machine.process
         self._started = True
         self._vm_version = engine.config.vm_version
@@ -321,10 +351,73 @@ class PersistentCacheSession:
         self._write_back(engine, machine, cache, stats)
 
     def on_exit(self, engine, machine, cache, stats) -> None:
+        self._collect_sidecar_counters(engine)
         self._write_back(engine, machine, cache, stats)
 
     def report(self) -> Dict[str, object]:
         return self.report_data.to_dict()
+
+    # -- compiled-body sidecar ----------------------------------------------------
+
+    def _attach_sidecar(self, engine) -> None:
+        """Open the sidecar and hand it to this run's trace compiler.
+
+        Skipped (state stays ``"disabled"``) under interpreted dispatch
+        (nothing compiles), without a database, when configured off, or
+        after this session already degraded.  Every other outcome is
+        report-only: the sidecar must never influence the simulated run.
+        """
+        if (
+            not self.config.sidecar
+            or self.config.database is None
+            or self._degraded
+        ):
+            return
+        compiler = getattr(engine, "_compiler", None)
+        if compiler is None:
+            return
+        try:
+            store, state = self.config.database.open_sidecar(
+                self._vm_version
+            )
+        except STORAGE_FAILURES as exc:
+            self.report_data.sidecar_state = "io-error: %s" % exc
+            return
+        self.report_data.sidecar_state = state
+        if store is None:
+            return
+        self._body_store = store
+        self.report_data.sidecar_entries = len(store)
+        compiler.attach_body_store(store)
+
+    def _collect_sidecar_counters(self, engine) -> None:
+        compiler = getattr(engine, "_compiler", None)
+        if compiler is None:
+            return
+        self.report_data.sidecar_hits = compiler.sidecar_hits
+        self.report_data.sidecar_host_compiles = compiler.host_compiles
+
+    def _save_sidecar(self) -> None:
+        """Persist newly recorded compiled bodies (report-only failure).
+
+        A sidecar write error must not degrade the session — the trace
+        cache's write-back is independent and may still succeed — and
+        must not touch ``VMStats`` (the sidecar exists only under
+        compiled dispatch; charging anything would split the tiers).
+        """
+        store = self._body_store
+        if store is None or not store.dirty:
+            return
+        new_entries = store.new_entries
+        try:
+            self.config.database.store_sidecar(store)
+        except STORAGE_FAILURES as exc:
+            self.report_data.sidecar_state = "write-error: %s" % exc
+            return
+        self.report_data.sidecar_written = True
+        self.report_data.sidecar_new_entries += new_entries
+        store.dirty = False
+        store.new_entries = 0
 
     # -- internals -----------------------------------------------------------------
 
@@ -396,6 +489,11 @@ class PersistentCacheSession:
             # A storage failure already downgraded this session; writing
             # back through the same failing storage would be unsafe noise.
             return
+        # The sidecar saves first and independently: its write never
+        # degrades the session, and the trace write-back below may take
+        # the "nothing changed" early return while the sidecar still has
+        # fresh bodies to persist (e.g. a warm run after a memo flush).
+        self._save_sidecar()
         cost = engine.cost_model
         process = machine.process
 

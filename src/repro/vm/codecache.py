@@ -62,6 +62,13 @@ class CodeCache:
         self.code_used = 0
         self.data_used = 0
         self.stats = CodeCacheStats()
+        #: Monotonic invalidation epoch, bumped whenever any trace leaves
+        #: the cache (evict or flush).  The compiled tier's indirect
+        #: inline caches validate against it: a cached (target ->
+        #: resident) pair is only trusted while the generation matches,
+        #: so an IC can never chain to an evicted trace.  Insertions do
+        #: not bump it — adding a resident cannot stale a cached one.
+        self.generation = 0
         #: The translation map: original entry address -> resident trace.
         self._by_entry: Dict[int, TranslatedTrace] = {}
         #: Unresolved direct exits, keyed by their original target address.
@@ -143,6 +150,7 @@ class CodeCache:
         translated = self._by_entry.pop(entry, None)
         if translated is None:
             raise KeyError("no trace at 0x%x" % entry)
+        self.generation += 1
         self.code_used -= translated.code_size
         self.data_used -= translated.data_size
         # The compiled-tier closure dies with its cache residency (SMC or
@@ -181,6 +189,7 @@ class CodeCache:
     def flush(self) -> int:
         """Discard all translated code and data structures."""
         discarded = len(self._by_entry)
+        self.generation += 1
         for translated in self._by_entry.values():
             translated.invalidate_compiled()
             for slot in translated.links:

@@ -51,10 +51,30 @@ a second application sharing a library at the same base, a module reload
 — skips source generation and host compilation entirely and just
 re-binds the factory to the new run's captures.  The memo is this
 reproduction's own little persistent code cache, one meta-level up.
+
+Two PR-3 extensions complete that story:
+
+* **Persisted bodies** — when a persistence session attaches a
+  :class:`repro.persist.sidecar.CompiledBodyStore`, every factory's
+  compiled code object is recorded (as ``marshal`` bytes keyed by a
+  digest of the factory-memo key) and revived on the next process's
+  first run, skipping source generation *and* host ``compile()``
+  entirely.  The sidecar is keyed on ``VM_VERSION`` + the host bytecode
+  tag, so any codegen or interpreter change invalidates it wholesale.
+* **Indirect-branch inline caches** — a JR/RET/CALLR exit carries a
+  per-closure monomorphic (generation, target, resident) cell.  While
+  the code-cache generation matches and the dynamic target repeats, the
+  exit chains straight to the resident trace without consulting the
+  translation map; any miss falls back to the dispatcher path.  The
+  cycle charge and ``indirect_resolutions`` count are identical on both
+  paths — the IC is host-side memoization of the resolver, not a
+  simulated-cost change.
 """
 
 from __future__ import annotations
 
+import hashlib
+import marshal
 from types import SimpleNamespace
 from typing import Dict, List, Optional
 
@@ -103,14 +123,39 @@ _BRANCH_CONDITIONS = {
 _INT64_MIN = -9223372036854775808
 _INT64_MAX = 9223372036854775807
 
-#: Memoized closure factories (the compiled ``_make`` functions), keyed
-#: by everything the generated source bakes in (see :func:`_trace_key`).
-#: A hit skips source generation, host compilation *and* the module
-#: ``exec`` — the factory is simply re-bound to the new run's captures.
-#: Bounded: the table is flushed wholesale when it outgrows the cap (the
-#: same reclamation policy the intra-execution code cache uses).
-_FACTORIES: Dict[tuple, object] = {}
+#: Memoized closure factories, keyed by everything the generated source
+#: bakes in (see :func:`_trace_key`).  Each value is a ``(make, digest,
+#: body_bytes)`` triple: the compiled ``_make`` function, the sidecar
+#: digest of its key, and the ``marshal`` serialization of its code
+#: object (so a memo hit can still populate a fresh sidecar without
+#: recompiling).  A hit skips source generation, host compilation *and*
+#: the module ``exec`` — the factory is simply re-bound to the new run's
+#: captures.  Bounded: the table is flushed wholesale when it outgrows
+#: the cap (the same reclamation policy the code cache uses).
+_FACTORIES: Dict[tuple, tuple] = {}
 _FACTORIES_CAP = 8192
+
+
+def _body_digest(key: tuple) -> str:
+    """Sidecar name of one factory: a digest of the full memo key.
+
+    The key already encodes everything the generated source depends on,
+    so equal digests imply byte-identical factory code; the VM version
+    and host bytecode tag are keyed at the store level
+    (:mod:`repro.persist.sidecar`), not per entry.
+    """
+    return hashlib.sha256(repr(key).encode()).hexdigest()
+
+
+class _NullCodeCache:
+    """Stand-in when no code cache is attached (direct compiler use):
+    indirect inline caches never validate and never fill."""
+
+    generation = -1
+
+    @staticmethod
+    def lookup(original_addr: int):
+        return None
 
 
 def code_object_cache_size() -> int:
@@ -233,16 +278,26 @@ class TraceCompiler:
         accounting: ToolAccounting,
         cost_model: CostModel,
         analysis_context: AnalysisContext,
+        code_cache=None,
     ):
         self.machine = machine
         self.stats = stats
         self.accounting = accounting
         self.cost = cost_model
         self.acx = analysis_context
+        cache = code_cache if code_cache is not None else _NullCodeCache()
         #: Traces specialized by this compiler (introspection/tests).
         self.compiled_count = 0
         #: Host code-object memo hits observed by this compiler.
         self.code_memo_hits = 0
+        #: Host ``compile()`` calls this compiler actually paid (factory
+        #: memo misses that the sidecar could not serve either).
+        self.host_compiles = 0
+        #: Factory code objects revived from the persisted sidecar.
+        self.sidecar_hits = 0
+        #: The attached compiled-body sidecar store, or None (attached by
+        #: the persistence session via :meth:`attach_body_store`).
+        self.body_store = None
         #: The run-scoped capture namespace, shared by every closure this
         #: compiler builds (per-trace state travels separately).
         self._context = SimpleNamespace(
@@ -258,7 +313,19 @@ class TraceCompiler:
             halt_event=halt_step_event,
             acx=analysis_context,
             record_call=accounting.record_call,
+            cache=cache,
+            cache_lookup=cache.lookup,
         )
+
+    def attach_body_store(self, store) -> None:
+        """Attach a :class:`~repro.persist.sidecar.CompiledBodyStore`.
+
+        Subsequent factory-memo misses first try the store (reviving the
+        marshaled code object skips source generation and host
+        ``compile()``), and every factory this compiler touches is
+        recorded into it so the write-back persists a complete set.
+        """
+        self.body_store = store
 
     # -- public API -----------------------------------------------------------
 
@@ -271,21 +338,24 @@ class TraceCompiler:
         """
         try:
             key = _trace_key(translated, self.cost)
-            make = _FACTORIES.get(key)
+            cached = _FACTORIES.get(key)
             slots, callbacks = _capture_lists(translated)
-            if make is None:
-                source = self._generate(translated, slots, callbacks)
-                code = compile(
-                    source, "<trace@0x%x>" % translated.entry, "exec"
+            if cached is None:
+                digest = _body_digest(key)
+                make, body_bytes = self._build_factory(
+                    translated, slots, callbacks, digest
                 )
-                namespace: Dict[str, object] = {}
-                exec(code, namespace)  # noqa: S102 - self-generated source
-                make = namespace["_make"]
                 if len(_FACTORIES) >= _FACTORIES_CAP:
                     _FACTORIES.clear()
-                _FACTORIES[key] = make
+                _FACTORIES[key] = (make, digest, body_bytes)
             else:
+                make, digest, body_bytes = cached
                 self.code_memo_hits += 1
+                store = self.body_store
+                if store is not None and digest not in store.entries:
+                    # A fresh (or pruned) sidecar still learns bodies the
+                    # in-process memo already knows, at zero compile cost.
+                    store.record_bytes(digest, body_bytes)
             body = make(self._context, slots, callbacks)
         except CompileError:
             translated.compiled_body = UNCOMPILABLE
@@ -293,6 +363,41 @@ class TraceCompiler:
         translated.compiled_body = body
         self.compiled_count += 1
         return body
+
+    def _build_factory(self, translated, slots, callbacks, digest: str):
+        """Produce ``(make, marshal_bytes)`` for a factory-memo miss.
+
+        Tries the attached sidecar first — a hit ``exec``\\ s the revived
+        code object, skipping source generation and host ``compile()``;
+        a miss (or no store) compiles from generated source and records
+        the result into the store for the next process.
+        """
+        store = self.body_store
+        if store is not None:
+            code = store.lookup_code(digest)
+            if code is not None:
+                namespace: Dict[str, object] = {}
+                try:
+                    exec(code, namespace)  # noqa: S102 - keyed on VM version
+                    make = namespace["_make"]
+                except Exception:
+                    # A structurally valid blob that does not define the
+                    # factory (foreign or hand-damaged content the CRCs
+                    # cannot judge): treat as a miss and recompile.
+                    pass
+                else:
+                    self.sidecar_hits += 1
+                    return make, store.entries[digest]
+        source = self._generate(translated, slots, callbacks)
+        code = compile(source, "<trace@0x%x>" % translated.entry, "exec")
+        self.host_compiles += 1
+        namespace = {}
+        exec(code, namespace)  # noqa: S102 - self-generated source
+        make = namespace["_make"]
+        body_bytes = marshal.dumps(code)
+        if store is not None:
+            store.record_bytes(digest, body_bytes)
+        return make, body_bytes
 
     # -- code generation -------------------------------------------------------
 
@@ -413,23 +518,25 @@ class TraceCompiler:
                         % (rs1, _BRANCH_CONDITIONS[op], rs2)
                     )
                     exit_accounting(index + 1, 3)
-                    emit.emit("return (%d, %s, None)" % (taken, slot_name), 3)
+                    emit.emit(
+                        "return (%d, %s, None, None)" % (taken, slot_name), 3
+                    )
                 # A zero-offset taken branch lands on the fall-through
                 # address: indistinguishable from not-taken, stays inline.
             elif op == _JMP:
                 exit_accounting(index + 1)
-                emit.emit("return (%d, %s, None)" % (imm, final_name))
+                emit.emit("return (%d, %s, None, None)" % (imm, final_name))
             elif op == _CALL:
                 emit.emit("r[%d] = %d" % (regs.LR, pc + INSTRUCTION_SIZE))
                 exit_accounting(index + 1)
-                emit.emit("return (%d, %s, None)" % (imm, final_name))
+                emit.emit("return (%d, %s, None, None)" % (imm, final_name))
             elif op in (_JR, _RET, _CALLR):
                 source_reg = regs.LR if op == _RET else rs1
                 emit.emit("target = r[%d]" % source_reg)
                 if op == _CALLR:
                     emit.emit("r[%d] = %d" % (regs.LR, pc + INSTRUCTION_SIZE))
                 exit_accounting(index + 1)
-                self._emit_indirect_exit(emit, translated, final_name)
+                self._emit_indirect_exit(emit, uses, translated, final_name)
             elif op == _SYSCALL:
                 uses.add("syscall_step")
                 emit.emit(
@@ -437,12 +544,12 @@ class TraceCompiler:
                     % (pc + INSTRUCTION_SIZE)
                 )
                 exit_accounting(index + 1)
-                emit.emit("return (target, None, event)")
+                emit.emit("return (target, None, event, None)")
             elif op == _HALT:
                 uses.add("halt_event")
                 emit.emit("event = halt_event()")
                 exit_accounting(index + 1)
-                emit.emit("return (None, None, event)")
+                emit.emit("return (None, None, event, None)")
             elif op == _NOP:
                 pass
             else:
@@ -453,7 +560,7 @@ class TraceCompiler:
             # Instruction-limit fall-through exit.
             exit_accounting(n)
             emit.emit(
-                "return (%d, %s, None)"
+                "return (%d, %s, None, None)"
                 % (entry + n * INSTRUCTION_SIZE, final_name)
             )
 
@@ -464,10 +571,17 @@ class TraceCompiler:
         for name in (
             "to_signed", "MachineFault", "read_word", "write_word",
             "pages", "code_write", "syscall_step", "halt_event", "acx",
-            "record_call",
+            "record_call", "cache", "cache_lookup",
         ):
             if name in uses:
                 out.emit("%s = C.%s" % (name, name), 1)
+        if "ic" in uses:
+            # The monomorphic indirect inline cache: [generation seen at
+            # fill, cached dynamic target, resident trace for it].  One
+            # cell per closure (a trace has at most one indirect exit),
+            # fresh per factory binding so a run never inherits another
+            # run's residents.
+            out.emit("ic = [-1, None, None]", 1)
         for i in range(len(slots)):
             out.emit("slot%d = slots[%d]" % (i, i), 1)
         for i in range(len(callbacks)):
@@ -479,7 +593,7 @@ class TraceCompiler:
         return out.source()
 
     def _emit_indirect_exit(
-        self, emit: _Emitter, translated, final_name: str
+        self, emit: _Emitter, uses: set, translated, final_name: str
     ) -> None:
         """Terminator through the indirect-target resolver.
 
@@ -488,13 +602,30 @@ class TraceCompiler:
         any other final-exit kind (not reachable for JR/RET/CALLR traces
         built by the selector, but persisted caches are data) leaves via
         the final slot.
+
+        The INDIRECT path carries a monomorphic inline cache (Pin's
+        indirect-branch chaining, scoped to one predicted target): while
+        the code-cache generation is unchanged and the dynamic target
+        repeats, the exit hands the resident trace straight back to the
+        dispatcher; otherwise it resolves through the translation map
+        and refills.  Cycle charges and ``indirect_resolutions`` are
+        identical on hit and miss — both model the same resolver work —
+        so the interpreted oracle stays bit-identical.
         """
         final = translated.final_slot
         if final is not None and final.exit.kind == ExitKind.INDIRECT:
+            uses.update(("ic", "cache", "cache_lookup"))
             lit = _flt(self.cost.indirect_resolution)
             emit.emit("stats.translated_exec_cycles += %s" % lit)
             emit.emit("stats._total += %s" % lit)
             emit.emit("stats.indirect_resolutions += 1")
-            emit.emit("return (target, None, None)")
+            emit.emit("if ic[0] == cache.generation and ic[1] == target:")
+            emit.emit("return (target, None, None, ic[2])", 3)
+            emit.emit("hit = cache_lookup(target)")
+            emit.emit("if hit is not None:")
+            emit.emit("ic[0] = cache.generation", 3)
+            emit.emit("ic[1] = target", 3)
+            emit.emit("ic[2] = hit", 3)
+            emit.emit("return (target, None, None, hit)")
         else:
-            emit.emit("return (target, %s, None)" % final_name)
+            emit.emit("return (target, %s, None, None)" % final_name)

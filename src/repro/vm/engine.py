@@ -56,8 +56,11 @@ _MEMORY_OPS = (int(Opcode.LD), int(Opcode.ST))
 
 #: Version stamp of the run-time system.  Part of every persistent-cache
 #: key: "code and the data structures are specific to a version of the
-#: system and cannot be utilized across versions".
-VM_VERSION = "repro-dbi-1.0.0"
+#: system and cannot be utilized across versions".  Bump on any change
+#: to translation *or* to the compiled tier's closure codegen — the
+#: compiled-body sidecar (repro.persist.sidecar) revives host code
+#: objects keyed on this stamp, so stale codegen must miss wholesale.
+VM_VERSION = "repro-dbi-1.1.0"
 
 
 class EngineError(Exception):
@@ -192,7 +195,7 @@ class Engine:
         self._compiler = (
             TraceCompiler(
                 machine, stats, accounting, self.cost_model,
-                self._analysis_context,
+                self._analysis_context, code_cache=cache,
             )
             if dispatch_mode == "compiled"
             else None
@@ -405,7 +408,7 @@ class Engine:
             if body is None:
                 body = compiler.compile(translated)
             if body is not UNCOMPILABLE:
-                next_pc, slot, event = body()
+                next_pc, slot, event, resident = body()
                 if event is not None:
                     return self._handle_syscall_exit(
                         event, next_pc, machine, stats, exit_status
@@ -414,7 +417,10 @@ class Engine:
                     return self._leave_via_slot(
                         slot, next_pc, cache, stats, exit_status
                     )
-                return next_pc, exit_status, None
+                # ``resident`` is the indirect inline cache's prediction:
+                # the already-resident next trace, handed straight back to
+                # the dispatcher (no translation-map consultation).
+                return next_pc, exit_status, resident
             # Uncompilable trace: fall through to the interpreted oracle.
 
         trace = translated.trace

@@ -203,15 +203,54 @@ def compute_liveness(trace: Trace) -> List[int]:
 _NOP = ins.nop()
 _JMP_DISPATCH = ins.jmp(0)
 
+#: Pre-encoded stub fragments.  Stub shape is fixed per exit (movi of the
+#: masked target + the dispatcher jump) and per point (NOP triple), so
+#: stub emission is pure byte concatenation: no Instruction objects are
+#: built and nothing is re-encoded on the translate path.  The bytes are
+#: identical to encoding the equivalent instruction list (``encode_all``
+#: is itself a concatenation of fixed-width packs).
+_JMP_DISPATCH_BYTES = encode_all([_JMP_DISPATCH])
+_POINT_STUB_BYTES = encode_all([_NOP] * STUB_INSTS_PER_POINT)
 
-def _emit_stub_code(trace: Trace, n_points: int) -> List[Instruction]:
-    """Materialize the translated-code bytes for stubs.
+#: Per-target exit-stub bytes (movi+jmp), keyed by the masked target.
+#: Targets repeat heavily across traces (shared call/return sites), so
+#: the memo turns the dominant stub cost into one dict probe.  Keyed on
+#: the literal value baked into the bytes — addresses cannot stale.
+_EXIT_STUB_MEMO: Dict[int, bytes] = {}
+_EXIT_STUB_MEMO_CAP = 1 << 15
+
+
+def _exit_stub_bytes(target: int) -> bytes:
+    blob = _EXIT_STUB_MEMO.get(target)
+    if blob is None:
+        if len(_EXIT_STUB_MEMO) >= _EXIT_STUB_MEMO_CAP:
+            _EXIT_STUB_MEMO.clear()
+        blob = _EXIT_STUB_MEMO[target] = (
+            encode_all([ins.movi(regs.AT, target)]) + _JMP_DISPATCH_BYTES
+        )
+    return blob
+
+
+def _stub_code_bytes(trace: Trace, n_points: int) -> bytes:
+    """Materialize the translated-code bytes for stubs, batched.
 
     The stubs are structural (the dispatcher interprets trace objects, not
     these bytes) but they are *real* encoded instructions whose size is
     what the code pool and the persistent cache store, so code-expansion
     numbers are honest.
     """
+    parts = [
+        _exit_stub_bytes((trace_exit.target or 0) & 0x7FFFFFFF)
+        for trace_exit in trace.exits
+    ]
+    if n_points:
+        parts.append(_POINT_STUB_BYTES * n_points)
+    return b"".join(parts)
+
+
+def _emit_stub_code(trace: Trace, n_points: int) -> List[Instruction]:
+    """Instruction-object form of the stubs (tests/introspection only;
+    the translate path uses the batched :func:`_stub_code_bytes`)."""
     stubs: List[Instruction] = []
     for trace_exit in trace.exits:
         target = trace_exit.target or 0
@@ -235,10 +274,15 @@ class Translator:
         n_insts = len(trace.instructions)
 
         body = encode_all(trace.instructions)
-        stubs = encode_all(_emit_stub_code(trace, len(points)))
-        code_bytes = body + stubs
+        code_bytes = body + _stub_code_bytes(trace, len(points))
 
-        liveness = compute_liveness(trace)
+        # Liveness exists to place instrumentation without spilling; a
+        # trace with no analysis points never consults it, so the
+        # backward pass is skipped outright.  The *accounted* data size
+        # below still charges the full per-instruction liveness vectors
+        # (the persisted data blob zero-fills them), so pool occupancy
+        # and Figure 9 are unchanged.
+        liveness = compute_liveness(trace) if points else []
         data_size = (
             TRACE_OBJECT_BYTES
             + REGISTER_BINDINGS_BYTES

@@ -16,7 +16,12 @@ behavior, which docs/performance.md forbids.
 
 import pytest
 
+from repro.binfmt.image import ImageBuilder
+from repro.isa import instructions as ins
+from repro.isa import registers as regs
 from repro.loader.linker import load_process
+from repro.machine.cpu import HEAP_BASE, Machine, run_native
+from repro.machine.syscalls import SYS_EXIT
 from repro.persist.database import CacheDatabase
 from repro.persist.manager import PersistenceConfig
 from repro.tools import BBCountTool, InsCountTool, MemTraceTool
@@ -28,7 +33,7 @@ from repro.workloads.regression import round_robin_cases
 from repro.workloads.spec2k import build_suite
 
 from tests.test_modules import make_workload as make_module_workload
-from tests.test_smc import build_smc_image
+from tests.test_smc import _word_of, build_smc_image
 
 MODES = ("interpreted", "compiled")
 
@@ -157,6 +162,194 @@ class TestPersistence:
         # persistent traces, not freshly translated ones.
         for mode in MODES:
             assert runs[mode][1].stats.traces_translated == 0, mode
+
+
+def build_indirect_image(n_helpers=8, mono_iters=60, poly_iters=40,
+                         mega_iters=48):
+    """An image whose control flow is dominated by indirect branches.
+
+    Three phases stress the compiled tier's indirect-branch inline
+    caches across the behaviors a real IC must survive:
+
+    * **monomorphic**: one ``callr`` site calling the same helper every
+      iteration — the IC's best case (steady hits after one miss).
+    * **polymorphic**: one ``callr`` site alternating between two
+      helpers via a heap-resident dispatch table — the monomorphic IC
+      misses every iteration and must fall back without diverging.
+    * **megamorphic**: the same table-driven site cycling through all
+      ``n_helpers`` targets — the paper's indirect "switch" shape.
+
+    Every helper ends in ``ret`` (itself an indirect branch), so return
+    sites are exercised too.  ``n_helpers`` must be a power of two (the
+    index wraps with a mask).
+    """
+    assert n_helpers & (n_helpers - 1) == 0
+    builder = ImageBuilder("indirect-app")
+    for i in range(n_helpers):
+        builder.add_function(
+            "h%d" % i, [ins.addi(regs.A0, regs.A0, i + 1), ins.ret()]
+        )
+
+    t0, t1, t2, t3, t4, t5 = (regs.T0 + i for i in range(6))
+    code = []
+    refs = []
+    # Dispatch table at HEAP_BASE: table[i] = &h_i.
+    code.append(ins.movi(t0, HEAP_BASE))
+    for i in range(n_helpers):
+        refs.append((len(code), "h%d" % i))
+        code.append(ins.movi(t1, 0))              # t1 = &h_i    [reloc]
+        code.append(ins.st(t0, t1, i * 8))
+
+    # Phase 1: monomorphic callr loop (one site, one target).
+    refs.append((len(code), "h0"))
+    code.append(ins.movi(t1, 0))                  # t1 = &h0     [reloc]
+    code.append(ins.movi(t2, mono_iters))
+    head = len(code)
+    code.append(ins.callr(t1))
+    code.append(ins.addi(t2, t2, -1))
+    here = len(code)
+    code.append(ins.bne(t2, regs.ZERO, (head - (here + 1)) * 8))
+
+    # Phases 2+3: table-driven callr, index wrapped with a mask — mask 1
+    # gives the polymorphic pair, mask n-1 the megamorphic cycle.
+    for mask, iters in ((1, poly_iters), (n_helpers - 1, mega_iters)):
+        code.append(ins.movi(t3, 0))              # t3 = index
+        code.append(ins.movi(t2, iters))
+        head = len(code)
+        code.append(ins.shli(t4, t3, 3))
+        code.append(ins.add(t4, t0, t4))
+        code.append(ins.ld(t5, t4, 0))            # t5 = table[index]
+        code.append(ins.callr(t5))
+        code.append(ins.addi(t3, t3, 1))
+        code.append(ins.andi(t3, t3, mask))
+        code.append(ins.addi(t2, t2, -1))
+        here = len(code)
+        code.append(ins.bne(t2, regs.ZERO, (head - (here + 1)) * 8))
+
+    code.append(ins.andi(regs.A0, regs.A0, 127))  # exit-status range
+    code.append(ins.movi(regs.RV, SYS_EXIT))
+    code.append(ins.syscall())
+    builder.add_function("main", code, symbol_refs=refs)
+    builder.set_entry("main")
+    return builder.build()
+
+
+def build_indirect_smc_image():
+    """SMC between executions of one indirect call site.
+
+    A two-iteration loop calls ``patchme`` through ``callr`` and patches
+    its first instruction after the call, so the second iteration's
+    indirect transfer must reach the *new* code (exit 99).  A stale
+    inline cache that survived the SMC eviction would dispatch the old
+    closure instead — this is the IC generation-guard's load-bearing
+    case.
+    """
+    builder = ImageBuilder("indirect-smc-app")
+    builder.add_function("patchme", [ins.movi(regs.A0, 1), ins.ret()])
+    new_word = _word_of(ins.movi(regs.A0, 99))
+    lo = new_word & 0xFFFF
+    hi = (new_word >> 16) & ((1 << 47) - 1)
+    t1, t2, t3 = (regs.T0 + i for i in (1, 2, 3))
+    code = [
+        ins.movi(t1, 0),                      # t1 = &patchme    [reloc]
+        ins.movi(t3, 2),                      # t3 = iterations
+        # loop: the SAME indirect site runs old code, then patched code.
+        ins.callr(t1),                        # index 2 == loop head
+        ins.movi(t2, hi),
+        ins.shli(t2, t2, 16),
+        ins.ori(t2, t2, lo),
+        ins.st(t1, t2, 0),                    # patch patchme[0]
+        ins.addi(t3, t3, -1),
+        ins.bne(t3, regs.ZERO, (2 - (8 + 1)) * 8),
+        ins.movi(regs.RV, SYS_EXIT),
+        ins.syscall(),                        # exit(a0) -> 99
+    ]
+    builder.add_function("main", code, symbol_refs=[(0, "patchme")])
+    builder.set_entry("main")
+    return builder.build()
+
+
+class TestIndirectHeavy:
+    """Indirect-branch-dominated corpus: the inline caches' test bed."""
+
+    def test_matches_native(self):
+        image = build_indirect_image()
+        native = run_native(Machine(load_process(image)))
+        vm = Engine().run(load_process(image))
+        assert vm.exit_status == native.exit_status
+        assert vm.instructions == native.instructions
+
+    def test_tiers_agree(self):
+        results = assert_equivalent(
+            lambda mode: Engine(config=_config(mode)).run(
+                load_process(build_indirect_image())
+            ),
+            context="indirect-heavy",
+        )
+        # The corpus is actually indirect-heavy: every helper call and
+        # return resolves indirectly, under both tiers identically.
+        stats = results["compiled"].stats
+        assert stats.indirect_resolutions >= 2 * (60 + 40 + 48)
+
+    def test_tiers_agree_with_persistence(self, tmp_path):
+        from repro.persist.manager import PersistentCacheSession
+
+        def cold_warm(mode):
+            db = CacheDatabase(str(tmp_path / ("ind-" + mode)))
+
+            def one():
+                session = PersistentCacheSession(
+                    PersistenceConfig(database=db)
+                )
+                return Engine(config=_config(mode), persistence=session).run(
+                    load_process(build_indirect_image())
+                )
+
+            return one(), one()
+
+        runs = {mode: cold_warm(mode) for mode in MODES}
+        for index in (0, 1):
+            assert (signature(runs["interpreted"][index])
+                    == signature(runs["compiled"][index])), index
+
+    def test_ic_cuts_host_lookups_on_monomorphic_loop(self, monkeypatch):
+        """The IC is invisible to the simulation but must actually work:
+        on a monomorphic loop the compiled tier resolves repeat indirect
+        transfers from the inline cache, so it calls the host-level
+        ``CodeCache.lookup`` far less often than the interpreted tier."""
+        from repro.vm import codecache
+
+        image_args = dict(n_helpers=2, mono_iters=200, poly_iters=1,
+                          mega_iters=1)
+        counts = {}
+        original = codecache.CodeCache.lookup
+        for mode in MODES:
+            calls = [0]
+
+            def counting(self, addr, _calls=calls, _orig=original):
+                _calls[0] += 1
+                return _orig(self, addr)
+
+            monkeypatch.setattr(codecache.CodeCache, "lookup", counting)
+            Engine(config=_config(mode)).run(
+                load_process(build_indirect_image(**image_args))
+            )
+            monkeypatch.setattr(codecache.CodeCache, "lookup", original)
+            counts[mode] = calls[0]
+        assert counts["compiled"] < counts["interpreted"] - 100, counts
+
+    def test_smc_between_indirect_calls(self):
+        """Patching an indirect target between calls must reach the new
+        code under both tiers: the cache-generation guard forbids an IC
+        from dispatching a closure whose trace was evicted by SMC."""
+        results = assert_equivalent(
+            lambda mode: Engine(config=_config(mode)).run(
+                load_process(build_indirect_smc_image())
+            ),
+            context="indirect-smc",
+        )
+        assert results["compiled"].exit_status == 99
+        assert results["compiled"].stats.smc_invalidations > 0
 
 
 class TestHardCases:

@@ -170,7 +170,7 @@ class TestPersistenceWithThreads:
             __import__("repro.persist.keys", fromlist=["mapping_key"]).mapping_key(
                 image, 0x40_0000
             ),
-            "repro-dbi-1.0.0",
+            __import__("repro.vm.engine", fromlist=["VM_VERSION"]).VM_VERSION,
             Engine().tool.identity(),
         )
         assert cache is not None

@@ -39,6 +39,9 @@ class TestSessionLifecycle:
             "new_traces_persisted", "written", "total_traces_after_write",
             "key_checks", "unbacked_skipped", "cache_quarantined",
             "fallback_jit_only", "degraded_reason", "storage_errors",
+            "sidecar_state", "sidecar_entries", "sidecar_hits",
+            "sidecar_host_compiles", "sidecar_written",
+            "sidecar_new_entries",
         }
         assert set(report) == expected_keys
 
