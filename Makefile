@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Persistent-cache database directory for `make fsck` (override: make fsck DB=...)
 DB ?= /tmp/pcc-db
 
-.PHONY: test faultinject benchmarks bench-wallclock fsck
+.PHONY: test faultinject benchmarks bench-wallclock fsck stress gc
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,3 +27,14 @@ bench-wallclock:
 # Check a persistent-cache database's integrity section by section.
 fsck:
 	$(PYTHON) -m repro.cli cache fsck $(DB)
+
+# Multi-process stress for the shared per-host body store.
+stress:
+	$(PYTHON) -m pytest -q tests/test_sharedstore_concurrency.py
+
+# Shared per-host body store directory for `make gc` (override: make gc STORE=...)
+STORE ?= /tmp/pcc-shared-store
+
+# Mark-and-sweep the shared store (docs/cache-format.md).
+gc:
+	$(PYTHON) -m repro.cli cache gc $(STORE)

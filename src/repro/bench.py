@@ -16,6 +16,14 @@ workload families the cycle-level benchmarks regenerate from the paper:
   sidecar (factories revived from ``compiled-bodies.pcs``).  The gap is
   exactly the host ``compile()`` cost the sidecar removes from a fresh
   process; the report also carries the host-compile counts per mode.
+* ``shared_store``: the cross-application configuration the paper's
+  Figure 9/10 measures, one level up — database A (per app) runs cold
+  and publishes its compiled bodies to a per-host shared store
+  (:mod:`repro.persist.sharedstore`); database B, which never ran any
+  workload, then runs its own cold start ``isolated`` (no shared store:
+  every trace pays a host ``compile()``) vs. ``shared`` (bodies revived
+  from the pool A warmed: zero host ``compile()``\\ s).  B runs
+  read-only so every repetition measures a genuinely cold database.
 
 Methodology: each family is timed as a full sweep (every workload in
 the family, sequentially) under each mode.  Sweeps run ``warmup``
@@ -240,6 +248,75 @@ def _sidecar_cold_warm_sweep(scratch_dir: str):
     return sweep, extras
 
 
+def _shared_store_sweep(scratch_dir: str):
+    """Cross-database body reuse through the per-host shared store.
+
+    Setup (untimed): for each GUI app, a donor database attached to one
+    shared store runs the app cold, publishing every compiled body.  The
+    timed sweeps then run each app against a *consumer* database that
+    never saw any workload (empty, read-only, so it stays cold across
+    repetitions): ``isolated`` detaches the store and pays every host
+    ``compile()``; ``shared`` revives every body DB-A published.  The
+    host-compile and shared-hit counts per mode are reported so CI can
+    assert the cross-database warm path performs zero host
+    ``compile()`` calls.
+    """
+    from repro.persist.sharedstore import SharedBodyStore
+    from repro.vm.compile import clear_code_object_cache
+    from repro.vm.engine import VM_VERSION
+
+    apps, _store = build_gui_suite()
+    ordered = sorted(apps.items())
+    shared = SharedBodyStore(
+        os.path.join(scratch_dir, "shared-store"), vm_version=VM_VERSION
+    )
+    consumers = {}
+    for name, app in ordered:
+        donor = CacheDatabase(
+            os.path.join(scratch_dir, "shared-donor-" + name),
+            shared_store=shared,
+        )
+        clear_code_object_cache()
+        # Donor cold run: populates its trace cache, its private
+        # sidecar, and — the point — the shared per-host pool (untimed).
+        run_vm(app, "startup", persistence=PersistenceConfig(database=donor),
+               vm_config=_config("compiled"))
+        consumers[name] = CacheDatabase(
+            os.path.join(scratch_dir, "shared-consumer-" + name)
+        )
+    host_compiles = {"isolated": 0, "shared": 0}
+    shared_hits = {"isolated": 0, "shared": 0}
+
+    def sweep(mode: str) -> list:
+        clear_code_object_cache()
+        results = [
+            run_vm(app, "startup",
+                   persistence=PersistenceConfig(
+                       database=consumers[name],
+                       readonly=True,
+                       shared_store=(shared if mode == "shared" else None),
+                   ),
+                   vm_config=_config("compiled"))
+            for name, app in ordered
+        ]
+        host_compiles[mode] = sum(
+            r.persistence_report["sidecar_host_compiles"] for r in results
+        )
+        shared_hits[mode] = sum(
+            r.persistence_report["shared_hits"] for r in results
+        )
+        return results
+
+    def extras() -> Dict[str, object]:
+        return {
+            "host_compiles_isolated": host_compiles["isolated"],
+            "host_compiles_shared": host_compiles["shared"],
+            "shared_hits_shared": shared_hits["shared"],
+        }
+
+    return sweep, extras
+
+
 def run_wallclock(
     scratch_dir: str,
     warmup: int = 1,
@@ -264,11 +341,16 @@ def run_wallclock(
         sweep, extras = _sidecar_cold_warm_sweep(scratch_dir)
         return sweep, ("cold", "warm"), extras
 
+    def _build_shared_store():
+        sweep, extras = _shared_store_sweep(scratch_dir)
+        return sweep, ("isolated", "shared"), extras
+
     builders: Dict[str, Callable[[], tuple]] = {
         "fig5a_gui": lambda: (_fig5a_gui_sweep(scratch_dir), _MODES, None),
         "fig2b_gui": lambda: (_fig2b_gui_sweep(), _MODES, None),
         "headline_spec": lambda: (_headline_spec_sweep(), _MODES, None),
         "sidecar_cold_warm": _build_sidecar,
+        "shared_store": _build_shared_store,
     }
     selected = families if families is not None else tuple(builders)
     unknown = [name for name in selected if name not in builders]

@@ -8,11 +8,15 @@ Usage::
     python -m repro run gui gqview startup --pcache /tmp/db --inter-app
     python -m repro run oracle oracle Work --tool memtrace --pcache /tmp/db
     python -m repro run shell ls run --pcache /tmp/db
+    python -m repro run gui gftp startup --pcache /tmp/db2 --shared-store /tmp/shared-store
     python -m repro timeline spec 176.gcc ref-1
     python -m repro pcache list /tmp/db
     python -m repro pcache show /tmp/db --index 0
     python -m repro cache fsck /tmp/db
     python -m repro cache fsck /tmp/db --quarantine
+    python -m repro cache fsck /tmp/shared-store
+    python -m repro cache gc /tmp/shared-store --json
+    python -m repro cache gc /tmp/shared-store --max-bytes 1048576
     python -m repro bench --reps 5 --check
     python -m repro disasm path/to/image.sbf
 
@@ -122,8 +126,14 @@ def cmd_run(args) -> int:
     tool_factory = _TOOLS[args.tool]
     persistence = None
     if args.pcache:
+        shared = None
+        if args.shared_store:
+            from repro.persist.sharedstore import SharedBodyStore
+            from repro.vm.engine import VM_VERSION
+
+            shared = SharedBodyStore(args.shared_store, vm_version=VM_VERSION)
         persistence = PersistenceConfig(
-            database=CacheDatabase(args.pcache),
+            database=CacheDatabase(args.pcache, shared_store=shared),
             inter_application=args.inter_app,
             relocatable=args.pic,
             readonly=args.readonly,
@@ -215,14 +225,54 @@ def cmd_pcache_show(args) -> int:
     return 0
 
 
+def _fsck_shared_store(args) -> int:
+    """``repro cache fsck`` against a shared compiled-body store.
+
+    Same contract as the database form: exit 0 when healthy, 1 on
+    damage; stale keytag pools and leftover ``.tmp`` files are notes.
+    """
+    from repro.persist.sharedstore import SharedBodyStore
+    from repro.vm.engine import VM_VERSION
+
+    store = SharedBodyStore(args.directory, vm_version=VM_VERSION)
+    report = store.fsck(quarantine=args.quarantine)
+    if not report.items and not report.notes:
+        print("(empty shared store: nothing to check)")
+        return 0
+    rows = [
+        {
+            "file": item.filename,
+            "status": item.status,
+            "section": item.section or "-",
+            "detail": item.detail or "-",
+        }
+        for item in report.items
+    ]
+    if rows:
+        print(format_table(rows, columns=["file", "status", "section", "detail"]))
+    for note in report.notes:
+        print("note: %s %s: %s" % (note.filename, note.status,
+                                   note.detail or ""))
+    for filename in report.quarantined:
+        print("quarantined: %s" % filename)
+    print("fsck: %s" % ("clean" if report.clean else "damage found"))
+    return 0 if report.clean else 1
+
+
 def cmd_cache_fsck(args) -> int:
     """``repro cache fsck``: validate every cache file section by section.
 
     Exit code 0 when the database is fully healthy, 1 when any damage,
     orphan, or interrupted write was found.  ``--quarantine`` moves
     damaged indexed files into the ``quarantine/`` subdirectory (never
-    deletes them) and drops them from the index.
+    deletes them) and drops them from the index.  Pointed at a shared
+    compiled-body store directory instead of a database, it validates
+    every shard of every pool.
     """
+    from repro.persist.sharedstore import is_shared_store
+
+    if is_shared_store(args.directory):
+        return _fsck_shared_store(args)
     db = CacheDatabase(args.directory)
     for kind, filename, reason in db.events:
         # Damage found while merely opening the database (corrupt index).
@@ -254,6 +304,48 @@ def cmd_cache_fsck(args) -> int:
     return 0 if healthy else 1
 
 
+def cmd_cache_gc(args) -> int:
+    """``repro cache gc``: mark-and-sweep a shared compiled-body store.
+
+    Marks every digest referenced by a registered database's private
+    sidecar, sweeps unmarked bodies shard by shard, removes pools keyed
+    for other VM versions wholesale, and (with ``--max-bytes``) evicts
+    least-recently-used bodies until the pool fits.  ``--db`` registers
+    extra databases before marking.  Always exits 0 on a completed run
+    (an unreadable reference index is reported, not fatal: eviction can
+    only cost a recompile); ``--json`` prints the machine-readable
+    report.
+    """
+    import json as json_module
+
+    from repro.persist.sharedstore import SharedBodyStore
+    from repro.vm.engine import VM_VERSION
+
+    store = SharedBodyStore(args.directory, vm_version=VM_VERSION)
+    for db_dir in args.db or []:
+        store.register_database(db_dir)
+    report = store.gc(max_bytes=args.max_bytes)
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print("registered databases:  %d" % len(report.registered_databases))
+    print("referenced digests:    %d" % report.referenced)
+    print("scanned:               %d bodies, %d bytes"
+          % (report.scanned_entries, report.scanned_bytes))
+    print("swept (unreferenced):  %d bodies, %d bytes"
+          % (report.swept_entries, report.swept_bytes))
+    print("evicted (LRU cap):     %d bodies, %d bytes"
+          % (report.lru_evicted_entries, report.lru_evicted_bytes))
+    print("stale pools removed:   %d" % len(report.stale_pools_removed))
+    print("remaining:             %d bodies, %d bytes"
+          % (report.remaining_entries, report.remaining_bytes))
+    for shard in report.quarantined_shards:
+        print("quarantined: %s" % shard)
+    for db_dir in report.unreadable_indexes:
+        print("warning: unreadable reference index: %s" % db_dir)
+    return 0
+
+
 def cmd_bench(args) -> int:
     """``repro bench``: wall-clock dispatch-tier benchmark suite."""
     import tempfile
@@ -276,9 +368,26 @@ def cmd_bench(args) -> int:
             out_path=out_path,
         )
 
-    tier_rows, sidecar_rows = [], []
+    tier_rows, sidecar_rows, shared_rows = [], [], []
     for name, family in sorted(results["workloads"].items()):
-        if "interpreted_s" in family:
+        if "isolated_s" in family:
+            # The shared-store family times a never-warmed database's
+            # cold run with vs. without the per-host body pool.
+            shared_rows.append(
+                {
+                    "workload": name,
+                    "isolated_s": "%.3f" % family["isolated_s"],
+                    "shared_s": "%.3f" % family["shared_s"],
+                    "speedup_x": "%.2f" % family["speedup_x"],
+                    "host_compiles": "%d/%d" % (
+                        family["host_compiles_isolated"],
+                        family["host_compiles_shared"],
+                    ),
+                    "shared_hits": "%d" % family["shared_hits_shared"],
+                    "identical": str(family["identical_results"]),
+                }
+            )
+        elif "interpreted_s" in family:
             tier_rows.append(
                 {
                     "workload": name,
@@ -323,6 +432,13 @@ def cmd_bench(args) -> int:
                      "host_compiles", "identical"],
             title="Compiled-body sidecar: cold vs. warm host compile()",
         ))
+    if shared_rows:
+        print(format_table(
+            shared_rows,
+            columns=["workload", "isolated_s", "shared_s", "speedup_x",
+                     "host_compiles", "shared_hits", "identical"],
+            title="Shared per-host store: DB-A warms DB-B",
+        ))
     print("results written to %s" % out_path)
 
     gate = results["gate"]
@@ -355,6 +471,28 @@ def cmd_bench(args) -> int:
                "PASS" if warm_ok else "FAIL")
         )
         if not warm_ok:
+            return 1
+    if args.check and "shared_store" in results["workloads"]:
+        family = results["workloads"]["shared_store"]
+        # The cross-application acceptance gate: a database that never
+        # ran a workload performs zero host compile()s when another
+        # database on the host already published the bodies — and the
+        # isolated control actually paid them, so zero is meaningful.
+        shared_ok = (
+            family["identical_results"]
+            and family["host_compiles_shared"] == 0
+            and family["host_compiles_isolated"] > 0
+            and family["shared_hits_shared"] > 0
+        )
+        print(
+            "shared store: host compiles isolated=%d shared=%d "
+            "(shared hits %d) -> %s"
+            % (family["host_compiles_isolated"],
+               family["host_compiles_shared"],
+               family["shared_hits_shared"],
+               "PASS" if shared_ok else "FAIL")
+        )
+        if not shared_ok:
             return 1
     return 0
 
@@ -393,6 +531,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="interpret natively instead of under the VM")
     sub.add_argument("--tool", choices=sorted(_TOOLS), default="none",
                      help="instrumentation tool (default: none)")
+    sub.add_argument("--shared-store", metavar="DIR",
+                     help="attach the per-host shared compiled-body store "
+                          "at DIR (requires --pcache)")
     sub.add_argument("--pcache", metavar="DIR",
                      help="persistent-cache database directory")
     sub.add_argument("--inter-app", action="store_true",
@@ -429,13 +570,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     sub = cache_sub.add_parser(
-        "fsck", help="check database integrity (per-section checksums)"
+        "fsck", help="check database or shared-store integrity "
+                     "(per-section checksums)"
     )
     sub.add_argument("directory")
     sub.add_argument("--quarantine", action="store_true",
                      help="move damaged files aside and drop them from "
                           "the index (never deletes)")
     sub.set_defaults(func=cmd_cache_fsck)
+    sub = cache_sub.add_parser(
+        "gc", help="mark-and-sweep a shared compiled-body store"
+    )
+    sub.add_argument("directory")
+    sub.add_argument("--db", action="append", metavar="DIR",
+                     help="register this database before marking "
+                          "(repeatable)")
+    sub.add_argument("--max-bytes", type=int, default=None,
+                     help="LRU/size cap: evict least-recently-used "
+                          "bodies until the pool fits")
+    sub.add_argument("--json", action="store_true",
+                     help="print the machine-readable report")
+    sub.set_defaults(func=cmd_cache_gc)
 
     sub = subparsers.add_parser(
         "bench", help="wall-clock dispatch-tier benchmark suite"
@@ -446,7 +601,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="timed repetitions per family/mode (default 5)")
     sub.add_argument("--family", action="append",
                      choices=("fig5a_gui", "fig2b_gui", "headline_spec",
-                              "sidecar_cold_warm"),
+                              "sidecar_cold_warm", "shared_store"),
                      help="run only this family (repeatable; default all)")
     sub.add_argument("--out", metavar="PATH",
                      help="result JSON path (default BENCH_wallclock.json "

@@ -109,7 +109,12 @@ class CacheDatabase:
     :attr:`events` as ``(kind, filename, reason)`` tuples.
     """
 
-    def __init__(self, directory: str, storage: Optional[FileStorage] = None):
+    def __init__(
+        self,
+        directory: str,
+        storage: Optional[FileStorage] = None,
+        shared_store=None,
+    ):
         self.directory = directory
         self.storage = storage or FileStorage()
         self.storage.makedirs(directory)
@@ -118,6 +123,20 @@ class CacheDatabase:
         self._entries: List[CacheEntry] = []
         #: (kind, filename, reason) records of quarantine/recovery events.
         self.events: List[tuple] = []
+        #: The per-host shared compiled-body store this database attaches
+        #: to (:class:`repro.persist.sharedstore.SharedBodyStore`), or
+        #: None.  Sessions opened on this database revive bodies through
+        #: it before the private sidecar; attaching registers the
+        #: database as a gc mark root.  Registration failure is
+        #: best-effort: an unreachable store must not block the database.
+        self.shared_store = shared_store
+        if shared_store is not None:
+            try:
+                shared_store.register_database(directory)
+            except OSError as exc:
+                self.events.append(
+                    ("io-error", "shared-store", "registration failed: %s" % exc)
+                )
         self._load_index()
 
     # -- index maintenance --------------------------------------------------

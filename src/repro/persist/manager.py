@@ -70,8 +70,17 @@ class PersistenceConfig:
     #: Use the compiled-body sidecar (repro.persist.sidecar): revive host
     #: code objects for the compiled dispatch tier and record new ones at
     #: write-back.  Purely host-side — disabling it changes nothing
-    #: observable (cold-compile benchmarking, diagnosis).
+    #: observable (cold-compile benchmarking, diagnosis).  Disabling it
+    #: also disables the shared store below (the sidecar machinery is
+    #: the chain both ride on).
     sidecar: bool = True
+    #: Per-host shared compiled-body store
+    #: (repro.persist.sharedstore.SharedBodyStore) to revive bodies from
+    #: before the private sidecar and publish new ones to at write-back.
+    #: Defaults to the database's attached store
+    #: (CacheDatabase(shared_store=...)) when None.  Host-side only,
+    #: like the sidecar.
+    shared_store: Optional[object] = None
 
 
 @dataclass
@@ -114,6 +123,21 @@ class PersistenceReport:
     #: this process contributed that were not on disk before.
     sidecar_written: bool = False
     sidecar_new_entries: int = 0
+    #: Per-host shared compiled-body store lifecycle (host-side only;
+    #: see repro.persist.sharedstore): "disabled", "attached",
+    #: "stale-vm" (store keyed for another VM version), or
+    #: "write-error: ..." when a publish failed.
+    shared_store_state: str = "disabled"
+    #: Bodies revived from the shared store and chained lookups the
+    #: store could not serve (answered by the private sidecar or a host
+    #: compile()).
+    shared_hits: int = 0
+    shared_misses: int = 0
+    #: Bodies this session added to the shared store at write-back.
+    shared_publishes: int = 0
+    #: Bodies the store's LRU/size cap evicted during this session's
+    #: publishes.
+    shared_gc_evictions: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return dict(self.__dict__)
@@ -146,10 +170,13 @@ class PersistentCacheSession:
         #: Set after a storage failure: the session runs JIT-only from
         #: then on (no reuse, no further write-back attempts).
         self._degraded = False
-        #: The compiled-body sidecar store attached to this run's
-        #: compiler, or None (interpreted mode, sidecar disabled, or no
+        #: The compiled-body store attached to this run's compiler —
+        #: a private CompiledBodyStore, a ChainedBodyStore (shared store
+        #: in front), or None (interpreted mode, sidecar disabled, or no
         #: database).  Host-side only; see repro.persist.sidecar.
         self._body_store = None
+        #: The shared per-host store behind the chain, when attached.
+        self._shared_store = None
 
     # -- engine hooks ------------------------------------------------------------
 
@@ -360,12 +387,20 @@ class PersistentCacheSession:
     # -- compiled-body sidecar ----------------------------------------------------
 
     def _attach_sidecar(self, engine) -> None:
-        """Open the sidecar and hand it to this run's trace compiler.
+        """Open the compiled-body chain and hand it to this run's compiler.
 
         Skipped (state stays ``"disabled"``) under interpreted dispatch
         (nothing compiles), without a database, when configured off, or
         after this session already degraded.  Every other outcome is
-        report-only: the sidecar must never influence the simulated run.
+        report-only: neither the sidecar nor the shared store may ever
+        influence the simulated run.
+
+        When a shared per-host store is configured (on the session or on
+        the database), the compiler sees a
+        :class:`~repro.persist.sidecar.ChainedBodyStore` implementing
+        the fallback order **shared store → private sidecar → host
+        compile()**; a failed private open then still leaves the shared
+        layer serving (and vice versa).
         """
         if (
             not self.config.sidecar
@@ -376,19 +411,37 @@ class PersistentCacheSession:
         compiler = getattr(engine, "_compiler", None)
         if compiler is None:
             return
+        shared = self.config.shared_store
+        if shared is None:
+            shared = getattr(self.config.database, "shared_store", None)
+        if shared is not None and shared.vm_version != self._vm_version:
+            # A store built for another VM version addresses a different
+            # pool; attaching it would only record useless misses.
+            self.report_data.shared_store_state = "stale-vm"
+            shared = None
         try:
             store, state = self.config.database.open_sidecar(
                 self._vm_version
             )
         except STORAGE_FAILURES as exc:
-            self.report_data.sidecar_state = "io-error: %s" % exc
-            return
+            state = "io-error: %s" % exc
+            store = None
         self.report_data.sidecar_state = state
-        if store is None:
+        if store is not None:
+            self.report_data.sidecar_entries = len(store)
+        if shared is None:
+            if store is None:
+                return
+            self._body_store = store
+            compiler.attach_body_store(store)
             return
-        self._body_store = store
-        self.report_data.sidecar_entries = len(store)
-        compiler.attach_body_store(store)
+        from repro.persist.sidecar import ChainedBodyStore
+
+        chained = ChainedBodyStore(shared=shared, private=store)
+        self._body_store = chained
+        self._shared_store = shared
+        self.report_data.shared_store_state = "attached"
+        compiler.attach_body_store(chained)
 
     def _collect_sidecar_counters(self, engine) -> None:
         compiler = getattr(engine, "_compiler", None)
@@ -396,28 +449,61 @@ class PersistentCacheSession:
             return
         self.report_data.sidecar_hits = compiler.sidecar_hits
         self.report_data.sidecar_host_compiles = compiler.host_compiles
+        store = self._body_store
+        if store is not None and hasattr(store, "shared_hits"):
+            self.report_data.shared_hits = store.shared_hits
+            self.report_data.shared_misses = store.shared_misses
 
     def _save_sidecar(self) -> None:
         """Persist newly recorded compiled bodies (report-only failure).
 
-        A sidecar write error must not degrade the session — the trace
-        cache's write-back is independent and may still succeed — and
-        must not touch ``VMStats`` (the sidecar exists only under
-        compiled dispatch; charging anything would split the tiers).
+        A sidecar or shared-store write error must not degrade the
+        session — the trace cache's write-back is independent and may
+        still succeed — and must not touch ``VMStats`` (the compiled-body
+        chain exists only under compiled dispatch; charging anything
+        would split the tiers).  The shared publish and the private
+        store are independent too: either may succeed when the other's
+        storage fails.
         """
         store = self._body_store
         if store is None or not store.dirty:
             return
-        new_entries = store.new_entries
+        private = store
+        if hasattr(store, "pending_publish"):
+            self._publish_shared(store)
+            private = store.private
+        if private is None or not private.dirty:
+            return
+        new_entries = private.new_entries
         try:
-            self.config.database.store_sidecar(store)
+            self.config.database.store_sidecar(private)
         except STORAGE_FAILURES as exc:
             self.report_data.sidecar_state = "write-error: %s" % exc
             return
         self.report_data.sidecar_written = True
         self.report_data.sidecar_new_entries += new_entries
-        store.dirty = False
-        store.new_entries = 0
+        private.dirty = False
+        private.new_entries = 0
+
+    def _publish_shared(self, chained) -> None:
+        """Publish this session's bodies to the per-host pool.
+
+        Failure is report-only (``shared_store_state`` becomes
+        ``"write-error: ..."``): the private sidecar write-back still
+        runs, and the simulated run is untouched either way.
+        """
+        pending = chained.pending_publish()
+        touched = chained.touched()
+        if not pending and not touched:
+            return
+        try:
+            result = self._shared_store.publish(pending, touch=touched)
+        except STORAGE_FAILURES as exc:
+            self.report_data.shared_store_state = "write-error: %s" % exc
+            return
+        self.report_data.shared_publishes += result.published
+        self.report_data.shared_gc_evictions += result.evicted
+        chained.clear_pending()
 
     # -- internals -----------------------------------------------------------------
 

@@ -116,6 +116,20 @@ class FileStorage:
     def file_size(self, path: str) -> int:
         return os.path.getsize(path)
 
+    def stat_signature(self, path):
+        """A cheap change-detection token for ``path``, or None if absent.
+
+        Two calls returning the same token mean the file was not replaced
+        in between (atomic write-replace always changes it); the shared
+        body store uses this to revalidate its in-memory shard cache
+        without re-reading and re-CRCing the file on every lookup.
+        """
+        try:
+            status = os.stat(path)
+        except OSError:
+            return None
+        return (status.st_mtime_ns, status.st_size)
+
     # -- locking -------------------------------------------------------------
 
     @contextlib.contextmanager

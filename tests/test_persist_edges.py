@@ -42,6 +42,8 @@ class TestSessionLifecycle:
             "sidecar_state", "sidecar_entries", "sidecar_hits",
             "sidecar_host_compiles", "sidecar_written",
             "sidecar_new_entries",
+            "shared_store_state", "shared_hits", "shared_misses",
+            "shared_publishes", "shared_gc_evictions",
         }
         assert set(report) == expected_keys
 
