@@ -38,7 +38,16 @@ def test_wallclock_dispatch_tiers(record, tmp_path_factory):
 
     rows = []
     for name, family in sorted(results["workloads"].items()):
-        if "interpreted_s" in family:
+        if "isolated_s" in family:
+            rows.append(
+                "%-18s isolated %.3fs  shared %.3fs  speedup %.2fx  "
+                "host compiles %d/%d  identical=%s"
+                % (name, family["isolated_s"], family["shared_s"],
+                   family["speedup_x"], family["host_compiles_isolated"],
+                   family["host_compiles_shared"],
+                   family["identical_results"])
+            )
+        elif "interpreted_s" in family:
             rows.append(
                 "%-18s interpreted %.3fs  compiled %.3fs  speedup %.2fx  "
                 "spread %.0f%%/%.0f%%  identical=%s"
@@ -69,6 +78,12 @@ def test_wallclock_dispatch_tiers(record, tmp_path_factory):
     sidecar = results["workloads"]["sidecar_cold_warm"]
     assert sidecar["host_compiles_warm"] == 0, sidecar
     assert sidecar["host_compiles_cold"] > 0, sidecar
+
+    # The polymorphic IC chains must engage on the corpora built to fit
+    # them (megamorphic overflows the chain by design and is excluded).
+    indirect = results["workloads"]["indirect_heavy"]["ic_per_corpus"]
+    assert indirect["alternating_pair"]["hit_rate"] > 0.8, indirect
+    assert indirect["rotating_3"]["hit_rate"] > 0.8, indirect
 
     # The acceptance gate: compiled >= 1.5x on fig5a warm-persistent GUI
     # startup (the configuration Figure 5(a) celebrates).

@@ -24,6 +24,12 @@ workload families the cycle-level benchmarks regenerate from the paper:
   every trace pays a host ``compile()``) vs. ``shared`` (bodies revived
   from the pool A warmed: zero host ``compile()``\\ s).  B runs
   read-only so every repetition measures a genuinely cold database.
+* ``indirect_heavy``: indirect-branch-bound microcorpora (alternating
+  two-target pair, rotating three-target cycle, megamorphic
+  eight-target table), no persistence.  The compiled tier's win here is
+  the polymorphic inline-cache chains at ``jr``/``callr``/``ret`` exits
+  (:mod:`repro.vm.compile`); the report carries per-corpus IC
+  hit/miss/depth counters so CI can assert the chains actually engage.
 
 Methodology: each family is timed as a full sweep (every workload in
 the family, sequentially) under each mode.  Sweeps run ``warmup``
@@ -42,7 +48,12 @@ divergent behavior.
 
 The result dictionary is also written as ``BENCH_wallclock.json`` at
 the repository root by :func:`run_wallclock` when ``out_path`` is given
-(the CLI and the benchmark suite both do).
+(the CLI and the benchmark suite both do).  A selective run (``--family
+X``) merges into the existing file instead of clobbering it: families
+measured this invocation are refreshed, families measured by earlier
+invocations are preserved, and the gate is recomputed over the merged
+set — so a quick single-family rerun never erases the rest of the
+recorded trajectory.
 """
 
 from __future__ import annotations
@@ -317,6 +328,72 @@ def _shared_store_sweep(scratch_dir: str):
     return sweep, extras
 
 
+def _indirect_heavy_sweep():
+    """Indirect-branch-bound corpora, no persistence.
+
+    Each corpus keeps one ``callr`` dispatch site hot with a different
+    dynamic target population (two, three, eight) so the polymorphic IC
+    chain is exercised at every depth — including overflow, where the
+    megamorphic corpus must degrade to the dispatcher path rather than
+    thrash.  The compiled run's per-corpus IC counters are reported so
+    the chains' engagement is auditable (and CI-gateable) rather than
+    inferred from the speedup alone.
+    """
+    from repro.workloads.indirect import build_indirect_suite
+
+    corpora = sorted(build_indirect_suite().items())
+    ic_per_corpus: Dict[str, Dict[str, object]] = {}
+
+    def sweep(mode: str) -> list:
+        results = []
+        for name, workload in corpora:
+            result = run_vm(workload, "run", vm_config=_config(mode))
+            if mode == "compiled":
+                ics = result.ic_stats
+                ic_per_corpus[name] = {
+                    "hits": ics.hits,
+                    "misses": ics.misses,
+                    "hit_rate": ics.hit_rate,
+                    "promotions": ics.promotions,
+                    "depth_hits": list(ics.depth_hits),
+                }
+            results.append(result)
+        return results
+
+    def extras() -> Dict[str, object]:
+        return {
+            "ic_per_corpus": ic_per_corpus,
+            "ic_hits": sum(c["hits"] for c in ic_per_corpus.values()),
+            "ic_misses": sum(c["misses"] for c in ic_per_corpus.values()),
+        }
+
+    return sweep, extras
+
+
+def _merge_existing(
+    out_path: str, results: Dict[str, object]
+) -> Dict[str, object]:
+    """Merge this invocation's families into an existing results file.
+
+    A selective ``--family`` run used to rewrite ``out_path`` wholesale,
+    silently discarding every family measured by earlier invocations.
+    Instead: families measured now win, families only present on disk
+    are preserved, and ``host``/``config`` describe the current
+    invocation (the old ones described runs being replaced anyway).  An
+    absent or unparsable file degrades to a plain write.
+    """
+    try:
+        with open(out_path) as handle:
+            previous = json.load(handle)
+    except (OSError, ValueError):
+        return results
+    merged_workloads = dict(previous.get("workloads") or {})
+    merged_workloads.update(results["workloads"])
+    merged = dict(results)
+    merged["workloads"] = merged_workloads
+    return merged
+
+
 def run_wallclock(
     scratch_dir: str,
     warmup: int = 1,
@@ -345,12 +422,17 @@ def run_wallclock(
         sweep, extras = _shared_store_sweep(scratch_dir)
         return sweep, ("isolated", "shared"), extras
 
+    def _build_indirect_heavy():
+        sweep, extras = _indirect_heavy_sweep()
+        return sweep, _MODES, extras
+
     builders: Dict[str, Callable[[], tuple]] = {
         "fig5a_gui": lambda: (_fig5a_gui_sweep(scratch_dir), _MODES, None),
         "fig2b_gui": lambda: (_fig2b_gui_sweep(), _MODES, None),
         "headline_spec": lambda: (_headline_spec_sweep(), _MODES, None),
         "sidecar_cold_warm": _build_sidecar,
         "shared_store": _build_shared_store,
+        "indirect_heavy": _build_indirect_heavy,
     }
     selected = families if families is not None else tuple(builders)
     unknown = [name for name in selected if name not in builders]
@@ -372,14 +454,19 @@ def run_wallclock(
         },
         "config": {"warmup_reps": warmup, "timed_reps": reps},
         "workloads": workloads,
-        "gate": {
-            "workload": GATE_WORKLOAD,
-            "threshold_x": GATE_THRESHOLD_X,
-        },
     }
-    gate = results["gate"]
-    if GATE_WORKLOAD in workloads:
-        family = workloads[GATE_WORKLOAD]
+    if out_path is not None:
+        results = _merge_existing(out_path, results)
+    # The gate reads the merged set, so a selective rerun that skipped
+    # the gate workload still reports the last measured gate numbers.
+    merged_workloads = results["workloads"]
+    gate: Dict[str, object] = {
+        "workload": GATE_WORKLOAD,
+        "threshold_x": GATE_THRESHOLD_X,
+    }
+    results["gate"] = gate
+    if GATE_WORKLOAD in merged_workloads:
+        family = merged_workloads[GATE_WORKLOAD]
         gate["speedup_x"] = family["speedup_x"]
         gate["pass"] = (
             family["identical_results"]

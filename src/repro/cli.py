@@ -439,6 +439,16 @@ def cmd_bench(args) -> int:
                      "host_compiles", "shared_hits", "identical"],
             title="Shared per-host store: DB-A warms DB-B",
         ))
+    ih_family = results["workloads"].get("indirect_heavy")
+    if ih_family and ih_family.get("ic_per_corpus"):
+        print("indirect_heavy inline-cache chains (compiled tier):")
+        for corpus, ic in sorted(ih_family["ic_per_corpus"].items()):
+            print(
+                "  %-17s hit rate %5.1f%%  hits/misses %d/%d  "
+                "promotions %d  depth hits %s"
+                % (corpus, 100.0 * ic["hit_rate"], ic["hits"],
+                   ic["misses"], ic["promotions"], ic["depth_hits"])
+            )
     print("results written to %s" % out_path)
 
     gate = results["gate"]
@@ -493,6 +503,28 @@ def cmd_bench(args) -> int:
                "PASS" if shared_ok else "FAIL")
         )
         if not shared_ok:
+            return 1
+    if args.check and "indirect_heavy" in results["workloads"]:
+        family = results["workloads"]["indirect_heavy"]
+        per = family.get("ic_per_corpus") or {}
+        # The chains must actually engage on the corpora built to fit
+        # them.  Megamorphic is deliberately excluded: its callr site
+        # cycles more targets than the chain holds, so a near-zero hit
+        # rate there is the designed behavior, not a regression.
+        ic_ok = (
+            family["identical_results"]
+            and all(per.get(name, {}).get("hit_rate", 0.0) > 0.0
+                    for name in ("alternating_pair", "rotating_3"))
+        )
+        print(
+            "indirect ICs: identical=%s alternating_pair=%.1f%% "
+            "rotating_3=%.1f%% -> %s"
+            % (family["identical_results"],
+               100.0 * per.get("alternating_pair", {}).get("hit_rate", 0.0),
+               100.0 * per.get("rotating_3", {}).get("hit_rate", 0.0),
+               "PASS" if ic_ok else "FAIL")
+        )
+        if not ic_ok:
             return 1
     return 0
 
@@ -601,7 +633,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="timed repetitions per family/mode (default 5)")
     sub.add_argument("--family", action="append",
                      choices=("fig5a_gui", "fig2b_gui", "headline_spec",
-                              "sidecar_cold_warm", "shared_store"),
+                              "sidecar_cold_warm", "shared_store",
+                              "indirect_heavy"),
                      help="run only this family (repeatable; default all)")
     sub.add_argument("--out", metavar="PATH",
                      help="result JSON path (default BENCH_wallclock.json "

@@ -31,7 +31,7 @@ implements the engine's persistence hooks:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.persist.cachefile import CacheFileError, PersistentCache, PersistedTrace
@@ -138,6 +138,18 @@ class PersistenceReport:
     #: Bodies the store's LRU/size cap evicted during this session's
     #: publishes.
     shared_gc_evictions: int = 0
+    #: Already-pooled bodies whose LRU stamp this session refreshed.
+    #: Read-only sessions record *only* these at write-back time (no
+    #: body publish, no trace write) so a consumer that never writes
+    #: still keeps its hot working set off the gc cap's eviction list.
+    shared_touch_refreshes: int = 0
+    #: Polymorphic indirect-branch inline-cache counters from the
+    #: compiled tier (repro.vm.stats.ICStats; host-side only, zeros
+    #: under interpreted dispatch).
+    ic_hits: int = 0
+    ic_misses: int = 0
+    ic_resets: int = 0
+    ic_depth_hits: List[int] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return dict(self.__dict__)
@@ -449,6 +461,12 @@ class PersistentCacheSession:
             return
         self.report_data.sidecar_hits = compiler.sidecar_hits
         self.report_data.sidecar_host_compiles = compiler.host_compiles
+        ics = getattr(compiler, "ic_stats", None)
+        if ics is not None:
+            self.report_data.ic_hits = ics.hits
+            self.report_data.ic_misses = ics.misses
+            self.report_data.ic_resets = ics.resets
+            self.report_data.ic_depth_hits = list(ics.depth_hits)
         store = self._body_store
         if store is not None and hasattr(store, "shared_hits"):
             self.report_data.shared_hits = store.shared_hits
@@ -503,7 +521,33 @@ class PersistentCacheSession:
             return
         self.report_data.shared_publishes += result.published
         self.report_data.shared_gc_evictions += result.evicted
+        self.report_data.shared_touch_refreshes += result.refreshed
         chained.clear_pending()
+
+    def _touch_shared(self) -> None:
+        """Refresh shared-store LRU stamps for a read-only session.
+
+        A read-only session never writes traces, sidecar or bodies —
+        but the bodies it revived from the per-host pool are its hot
+        working set, and without a stamp refresh they age as if unused
+        and become ``repro cache gc --max-bytes``'s *first* LRU
+        victims.  This is the touch-only write-back: publish no blobs,
+        refresh only the stamps of digests this session revived.
+        Failure is report-only, like every shared-store operation.
+        """
+        store = self._body_store
+        if self._shared_store is None or store is None or self._degraded:
+            return
+        touched = store.touched() if hasattr(store, "touched") else set()
+        if not touched:
+            return
+        try:
+            result = self._shared_store.publish({}, touch=touched)
+        except STORAGE_FAILURES as exc:
+            self.report_data.shared_store_state = "write-error: %s" % exc
+            return
+        self.report_data.shared_touch_refreshes += result.refreshed
+        store.clear_touched()
 
     # -- internals -----------------------------------------------------------------
 
@@ -569,7 +613,13 @@ class PersistentCacheSession:
         return base_of
 
     def _write_back(self, engine, machine, cache, stats) -> None:
-        if self.config.readonly or self.config.database is None:
+        if self.config.readonly:
+            # No trace write-back, no sidecar save, no body publish —
+            # but the shared pool still gets its LRU signal for the
+            # bodies this session revived (see _touch_shared).
+            self._touch_shared()
+            return
+        if self.config.database is None:
             return
         if self._degraded:
             # A storage failure already downgraded this session; writing

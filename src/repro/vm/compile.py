@@ -62,13 +62,18 @@ Two PR-3 extensions complete that story:
   entirely.  The sidecar is keyed on ``VM_VERSION`` + the host bytecode
   tag, so any codegen or interpreter change invalidates it wholesale.
 * **Indirect-branch inline caches** — a JR/RET/CALLR exit carries a
-  per-closure monomorphic (generation, target, resident) cell.  While
-  the code-cache generation matches and the dynamic target repeats, the
-  exit chains straight to the resident trace without consulting the
-  translation map; any miss falls back to the dispatcher path.  The
-  cycle charge and ``indirect_resolutions`` count are identical on both
-  paths — the IC is host-side memoization of the resolver, not a
-  simulated-cost change.
+  per-closure **polymorphic chain** of up to :data:`IC_CHAIN_DEPTH`
+  ``(target, resident)`` predictions (Pin's indirect-branch chaining),
+  guarded wholesale by the code-cache generation.  A hit anywhere in
+  the chain hands the resident trace straight back to the dispatcher
+  (deeper hits move their entry to the front, so repeating targets stay
+  cheap); a miss resolves through the translation map and refills the
+  front of the chain; a generation advance (eviction/flush) discards
+  the whole chain before it can dispatch a stale resident.  The cycle
+  charge and ``indirect_resolutions`` count are identical on every
+  path — the IC is host-side memoization of the resolver, not a
+  simulated-cost change — and the chain's hit/miss/depth accounting
+  lands in :class:`repro.vm.stats.ICStats`, outside ``VMStats``.
 """
 
 from __future__ import annotations
@@ -91,7 +96,7 @@ from repro.machine.cpu import (
     syscall_uop_step,
 )
 from repro.vm.client import AnalysisContext, PointKind, ToolAccounting
-from repro.vm.stats import VMStats
+from repro.vm.stats import IC_CHAIN_DEPTH, ICStats, VMStats
 from repro.vm.trace import ExitKind
 from repro.vm.translator import TranslatedTrace
 
@@ -279,6 +284,7 @@ class TraceCompiler:
         cost_model: CostModel,
         analysis_context: AnalysisContext,
         code_cache=None,
+        ic_stats: Optional[ICStats] = None,
     ):
         self.machine = machine
         self.stats = stats
@@ -286,6 +292,9 @@ class TraceCompiler:
         self.cost = cost_model
         self.acx = analysis_context
         cache = code_cache if code_cache is not None else _NullCodeCache()
+        #: Aggregated inline-cache accounting across every closure this
+        #: compiler builds (host-side only, never part of VMStats).
+        self.ic_stats = ic_stats if ic_stats is not None else ICStats()
         #: Traces specialized by this compiler (introspection/tests).
         self.compiled_count = 0
         #: Host code-object memo hits observed by this compiler.
@@ -315,6 +324,7 @@ class TraceCompiler:
             record_call=accounting.record_call,
             cache=cache,
             cache_lookup=cache.lookup,
+            ics=self.ic_stats,
         )
 
     def attach_body_store(self, store) -> None:
@@ -571,17 +581,17 @@ class TraceCompiler:
         for name in (
             "to_signed", "MachineFault", "read_word", "write_word",
             "pages", "code_write", "syscall_step", "halt_event", "acx",
-            "record_call", "cache", "cache_lookup",
+            "record_call", "cache", "cache_lookup", "ics",
         ):
             if name in uses:
                 out.emit("%s = C.%s" % (name, name), 1)
         if "ic" in uses:
-            # The monomorphic indirect inline cache: [generation seen at
-            # fill, cached dynamic target, resident trace for it].  One
-            # cell per closure (a trace has at most one indirect exit),
-            # fresh per factory binding so a run never inherits another
-            # run's residents.
-            out.emit("ic = [-1, None, None]", 1)
+            # The polymorphic indirect inline cache: [generation seen at
+            # last use, MRU-first chain of (target, resident) pairs].
+            # One cell per closure (a trace has at most one indirect
+            # exit), fresh per factory binding so a run never inherits
+            # another run's residents.
+            out.emit("ic = [-1, []]", 1)
         for i in range(len(slots)):
             out.emit("slot%d = slots[%d]" % (i, i), 1)
         for i in range(len(callbacks)):
@@ -603,29 +613,56 @@ class TraceCompiler:
         built by the selector, but persisted caches are data) leaves via
         the final slot.
 
-        The INDIRECT path carries a monomorphic inline cache (Pin's
-        indirect-branch chaining, scoped to one predicted target): while
-        the code-cache generation is unchanged and the dynamic target
-        repeats, the exit hands the resident trace straight back to the
-        dispatcher; otherwise it resolves through the translation map
-        and refills.  Cycle charges and ``indirect_resolutions`` are
-        identical on hit and miss — both model the same resolver work —
-        so the interpreted oracle stays bit-identical.
+        The INDIRECT path carries a polymorphic inline cache (Pin's
+        indirect-branch chaining): an MRU-first chain of up to
+        :data:`~repro.vm.stats.IC_CHAIN_DEPTH` ``(target, resident)``
+        predictions, validated wholesale against the code-cache
+        generation.  A front hit returns immediately; a deeper hit is
+        promoted to the front (move-to-front keeps an alternating pair
+        at depth 1 and a rotating triple at depth 2); a generation
+        advance discards the whole chain — an evicted trace can never
+        be dispatched; a miss resolves through the translation map and
+        refills the front, truncating the chain to its depth bound.
+        Cycle charges and ``indirect_resolutions`` are identical on
+        every path — all model the same resolver work — so the
+        interpreted oracle stays bit-identical; only the host-side
+        :class:`~repro.vm.stats.ICStats` counters see the difference.
         """
         final = translated.final_slot
         if final is not None and final.exit.kind == ExitKind.INDIRECT:
-            uses.update(("ic", "cache", "cache_lookup"))
+            uses.update(("ic", "ics", "cache", "cache_lookup"))
             lit = _flt(self.cost.indirect_resolution)
             emit.emit("stats.translated_exec_cycles += %s" % lit)
             emit.emit("stats._total += %s" % lit)
             emit.emit("stats.indirect_resolutions += 1")
-            emit.emit("if ic[0] == cache.generation and ic[1] == target:")
-            emit.emit("return (target, None, None, ic[2])", 3)
+            emit.emit("g = cache.generation")
+            emit.emit("e = ic[1]")
+            emit.emit("if ic[0] == g:")
+            emit.emit("if e and e[0][0] == target:", 3)
+            emit.emit("ics.hits += 1", 4)
+            emit.emit("ics.depth_hits[0] += 1", 4)
+            emit.emit("return (target, None, None, e[0][1])", 4)
+            emit.emit("for i in range(1, len(e)):", 3)
+            emit.emit("p = e[i]", 4)
+            emit.emit("if p[0] == target:", 4)
+            emit.emit("del e[i]", 5)
+            emit.emit("e.insert(0, p)", 5)
+            emit.emit("ics.hits += 1", 5)
+            emit.emit("ics.promotions += 1", 5)
+            emit.emit("ics.depth_hits[i] += 1", 5)
+            emit.emit("return (target, None, None, p[1])", 5)
+            emit.emit("else:")
+            emit.emit("if e:", 3)
+            emit.emit("del e[:]", 4)
+            emit.emit("ics.resets += 1", 4)
+            emit.emit("ic[0] = g", 3)
+            emit.emit("ics.misses += 1")
             emit.emit("hit = cache_lookup(target)")
             emit.emit("if hit is not None:")
-            emit.emit("ic[0] = cache.generation", 3)
-            emit.emit("ic[1] = target", 3)
-            emit.emit("ic[2] = hit", 3)
+            emit.emit("e.insert(0, (target, hit))", 3)
+            emit.emit("if len(e) > %d:" % IC_CHAIN_DEPTH, 3)
+            emit.emit("del e[%d:]" % IC_CHAIN_DEPTH, 4)
+            emit.emit("ics.fills += 1", 3)
             emit.emit("return (target, None, None, hit)")
         else:
             emit.emit("return (target, %s, None, None)" % final_name)

@@ -42,7 +42,7 @@ from repro.vm.codecache import (
     DEFAULT_DATA_POOL_BYTES,
 )
 from repro.vm.compile import TraceCompiler, UNCOMPILABLE
-from repro.vm.stats import VMStats
+from repro.vm.stats import ICStats, VMStats
 from repro.vm.trace import ExitKind, TraceSelector
 from repro.vm.translator import TranslatedTrace, Translator
 from repro.isa.opcodes import Opcode
@@ -60,7 +60,7 @@ _MEMORY_OPS = (int(Opcode.LD), int(Opcode.ST))
 #: to translation *or* to the compiled tier's closure codegen — the
 #: compiled-body sidecar (repro.persist.sidecar) revives host code
 #: objects keyed on this stamp, so stale codegen must miss wholesale.
-VM_VERSION = "repro-dbi-1.1.0"
+VM_VERSION = "repro-dbi-1.2.0"
 
 
 class EngineError(Exception):
@@ -109,6 +109,10 @@ class VMRunResult:
     cache_code_bytes: int
     cache_data_bytes: int
     persistence_report: Dict[str, object] = field(default_factory=dict)
+    #: Indirect-branch inline-cache accounting from the compiled tier
+    #: (all-zero under interpreted dispatch).  Host-side only — kept
+    #: outside :class:`VMStats` so the tiers' stats stay bit-identical.
+    ic_stats: ICStats = field(default_factory=ICStats)
 
     @property
     def total_cycles(self) -> float:
@@ -192,10 +196,12 @@ class Engine:
         self._analysis_context = AnalysisContext(
             address=0, trace_entry=0, index=0, machine=machine
         )
+        ic_stats = ICStats()
         self._compiler = (
             TraceCompiler(
                 machine, stats, accounting, self.cost_model,
                 self._analysis_context, code_cache=cache,
+                ic_stats=ic_stats,
             )
             if dispatch_mode == "compiled"
             else None
@@ -322,6 +328,7 @@ class Engine:
             cache_code_bytes=cache.code_used,
             cache_data_bytes=cache.data_used,
             persistence_report=persistence_report,
+            ic_stats=ic_stats,
         )
 
     # -- compilation -------------------------------------------------------------

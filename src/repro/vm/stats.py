@@ -21,6 +21,68 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+#: Maximum entries in one polymorphic indirect-branch inline-cache chain
+#: (repro.vm.compile bakes this into generated closures).  Four mirrors
+#: Pin's short indirect-chain predictions: the rotating-3 corpus still
+#: hits (steady state occupies three entries), while a megamorphic table
+#: cycle stays bounded instead of growing a useless long chain.
+IC_CHAIN_DEPTH = 4
+
+
+@dataclass
+class ICStats:
+    """Host-side counters for the compiled tier's polymorphic
+    indirect-branch inline caches (:mod:`repro.vm.compile`).
+
+    Deliberately **not** part of :class:`VMStats`: the interpreted
+    oracle has no inline caches, so any counter here would differ
+    between the tiers and break the bit-identical ``VMStats`` contract
+    (docs/performance.md).  Like the factory memo and the compiled-body
+    sidecar, the ICs are host-level memoization of the indirect
+    resolver — they may never influence anything simulated, so their
+    accounting travels beside the run result
+    (:attr:`repro.vm.engine.VMRunResult.ic_stats`), not inside it.
+    """
+
+    #: Chain hits: the dynamic target was found in the site's chain.
+    hits: int = 0
+    #: Chain misses: resolved through ``cache_lookup`` instead.
+    misses: int = 0
+    #: Misses whose resolution was resident and refilled the chain.
+    fills: int = 0
+    #: Hits at depth > 0, moved to the front of their chain.
+    promotions: int = 0
+    #: Non-empty chains discarded because ``cache.generation`` advanced
+    #: (SMC eviction, module unload, cache flush).
+    resets: int = 0
+    #: Hits by chain position (index 0 = the predicted/MRU entry).
+    depth_hits: List[int] = field(
+        default_factory=lambda: [0] * IC_CHAIN_DEPTH
+    )
+
+    @property
+    def lookups(self) -> int:
+        """Indirect exits taken through compiled closures."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of indirect exits served from a chain."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (bench tables, session reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "fills": self.fills,
+            "promotions": self.promotions,
+            "resets": self.resets,
+            "depth_hits": list(self.depth_hits),
+            "hit_rate": self.hit_rate,
+        }
+
 
 @dataclass
 class VMStats:

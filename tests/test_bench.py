@@ -1,0 +1,124 @@
+"""The wall-clock harness's result file accumulates across invocations.
+
+``run_wallclock`` records a *trajectory*: each family's numbers stay in
+``BENCH_wallclock.json`` until that family is re-measured.  A selective
+``--family`` invocation used to rewrite the file wholesale, silently
+discarding every family measured earlier — these tests pin the merge
+semantics (preserve untouched families, refresh re-run ones, recompute
+the gate over the merged set, degrade to a plain write on a missing or
+corrupt file).
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    GATE_WORKLOAD,
+    _merge_existing,
+    run_wallclock,
+)
+
+
+def _fake_results(**families):
+    return {
+        "host": {"python": "x", "platform": "y"},
+        "config": {"warmup_reps": 0, "timed_reps": 1},
+        "workloads": dict(families),
+    }
+
+
+class TestMergeExisting:
+    def test_missing_file_degrades_to_plain_write(self, tmp_path):
+        results = _fake_results(fam_a={"speedup_x": 1.0})
+        merged = _merge_existing(str(tmp_path / "absent.json"), results)
+        assert merged == results
+
+    def test_corrupt_file_degrades_to_plain_write(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{not json")
+        results = _fake_results(fam_a={"speedup_x": 1.0})
+        assert _merge_existing(str(path), results) == results
+
+    def test_untouched_families_preserved(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(_fake_results(
+            fam_old={"speedup_x": 3.0}, fam_both={"speedup_x": 1.0},
+        )))
+        merged = _merge_existing(str(path), _fake_results(
+            fam_both={"speedup_x": 2.0}, fam_new={"speedup_x": 9.0},
+        ))
+        workloads = merged["workloads"]
+        assert workloads["fam_old"] == {"speedup_x": 3.0}   # preserved
+        assert workloads["fam_both"] == {"speedup_x": 2.0}  # refreshed
+        assert workloads["fam_new"] == {"speedup_x": 9.0}   # added
+
+    def test_host_and_config_describe_current_invocation(self, tmp_path):
+        path = tmp_path / "bench.json"
+        stale = _fake_results(fam_old={})
+        stale["host"] = {"python": "ancient", "platform": "other-box"}
+        path.write_text(json.dumps(stale))
+        merged = _merge_existing(str(path), _fake_results(fam_new={}))
+        assert merged["host"] == {"python": "x", "platform": "y"}
+
+
+class TestRunWallclockMerge:
+    """End-to-end: two invocations into one file, nothing lost."""
+
+    @pytest.fixture(scope="class")
+    def merged_file(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("bench-merge")
+        out_path = str(tmp_path / "bench.json")
+        # First invocation stands in for an earlier full run that
+        # measured the gate family (fabricated numbers keep this fast).
+        seed = {
+            "host": {"python": "old"},
+            "config": {"warmup_reps": 9, "timed_reps": 9},
+            "workloads": {
+                GATE_WORKLOAD: {
+                    "speedup_x": 2.5,
+                    "identical_results": True,
+                    "interpreted_s": 0.5,
+                    "compiled_s": 0.2,
+                },
+            },
+            "gate": {"workload": GATE_WORKLOAD, "threshold_x": 1.5},
+        }
+        with open(out_path, "w") as handle:
+            json.dump(seed, handle)
+        results = run_wallclock(
+            scratch_dir=str(tmp_path / "scratch"),
+            warmup=0,
+            reps=1,
+            families=("indirect_heavy",),
+            out_path=out_path,
+        )
+        with open(out_path) as handle:
+            return results, json.load(handle)
+
+    def test_selective_rerun_preserves_other_families(self, merged_file):
+        results, on_disk = merged_file
+        assert GATE_WORKLOAD in on_disk["workloads"]
+        assert "indirect_heavy" in on_disk["workloads"]
+        assert on_disk["workloads"][GATE_WORKLOAD]["speedup_x"] == 2.5
+
+    def test_returned_results_match_file(self, merged_file):
+        results, on_disk = merged_file
+        assert results == on_disk
+
+    def test_gate_recomputed_over_merged_set(self, merged_file):
+        """The gate family wasn't re-run, but its preserved numbers
+        still drive the recorded gate verdict."""
+        _results, on_disk = merged_file
+        gate = on_disk["gate"]
+        assert gate["workload"] == GATE_WORKLOAD
+        assert gate["speedup_x"] == 2.5
+        assert gate["pass"] is True
+
+    def test_rerun_family_carries_ic_counters(self, merged_file):
+        _results, on_disk = merged_file
+        family = on_disk["workloads"]["indirect_heavy"]
+        assert family["identical_results"] is True
+        per = family["ic_per_corpus"]
+        assert per["alternating_pair"]["hit_rate"] > 0.8
+        assert per["rotating_3"]["hit_rate"] > 0.8

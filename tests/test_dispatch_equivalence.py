@@ -269,6 +269,69 @@ def build_indirect_smc_image():
     return builder.build()
 
 
+def build_ic_reset_image(iters=4):
+    """SMC that evicts an IC'd *target* but not the calling closure.
+
+    ``patchme`` sits alone on code page 0; a never-executed filler
+    function pads everything else onto page 1 (pages are ``1 <<
+    CODE_PAGE_SHIFT`` = 512 bytes = 64 instructions).  ``main`` loops
+    over ONE ``callr`` site: the early iterations warm its IC chain
+    (miss + fill, then hits) while a branchless select parks the patch
+    store harmlessly in the heap; the last iteration steers it onto
+    ``patchme[0]`` *before* the call.  The store runs inside a separate
+    ``do_store`` function (direct call, own trace) so the SMC exit it
+    triggers cannot bisect the trace holding the ``callr``.  The patch
+    evicts page 0 only, so the very same closure (page 1 survived)
+    re-executes its warm ``callr`` with a non-empty chain under a stale
+    generation — the wholesale chain reset is the only correct path,
+    and the final call must reach the patched code (exit 99).
+    """
+    from tests.test_smc import _word_of
+
+    builder = ImageBuilder("ic-reset-app")
+    builder.add_function("patchme", [ins.movi(regs.A0, 1), ins.ret()])
+    # 2 insts so far (16 bytes); 64 filler insts push the rest past 512.
+    builder.add_function("filler", [ins.nop() for _ in range(64)])
+    new_word = _word_of(ins.movi(regs.A0, 99))
+    lo = new_word & 0xFFFF
+    hi = (new_word >> 16) & ((1 << 47) - 1)
+    t1, t2, t3, t5, t6, t7 = (regs.T0 + i for i in (1, 2, 3, 5, 6, 7))
+    builder.add_function("do_store", [ins.st(t7, t2, 0), ins.ret()])
+    code = [
+        ins.movi(t1, 0),                      # t1 = &patchme    [reloc]
+        ins.movi(t2, hi),
+        ins.shli(t2, t2, 16),
+        ins.ori(t2, t2, lo),                  # t2 = patched word
+        ins.movi(t5, HEAP_BASE),              # harmless store target
+        ins.movi(t3, iters),
+    ]
+    head = len(code)
+    # t7 = heap + (patchme - heap) * (counter < 2): do_store writes to
+    # plain heap data until the final iteration patches patchme[0].
+    code.extend([
+        ins.movi(t7, 2),
+        ins.slt(t6, t3, t7),                  # t6 = is-last-iteration
+        ins.sub(t7, t1, t5),
+        ins.mul(t7, t7, t6),
+        ins.add(t7, t5, t7),
+    ])
+    refs = [(0, "patchme"), (len(code), "do_store")]
+    code.extend([
+        ins.call(0),                          # do_store         [reloc]
+        ins.callr(t1),                        # same IC site every iter
+        ins.addi(t3, t3, -1),
+    ])
+    here = len(code)
+    code.append(ins.bne(t3, regs.ZERO, (head - (here + 1)) * 8))
+    code.extend([
+        ins.movi(regs.RV, SYS_EXIT),
+        ins.syscall(),                        # exit(a0) -> 99
+    ])
+    builder.add_function("main", code, symbol_refs=refs)
+    builder.set_entry("main")
+    return builder.build()
+
+
 class TestIndirectHeavy:
     """Indirect-branch-dominated corpus: the inline caches' test bed."""
 
@@ -350,6 +413,123 @@ class TestIndirectHeavy:
         )
         assert results["compiled"].exit_status == 99
         assert results["compiled"].stats.smc_invalidations > 0
+
+
+class TestPolymorphicIC:
+    """The polymorphic IC chain: pure host-side, observably invisible.
+
+    Every assertion pairs a chain-engagement check (hits, depths,
+    promotions, resets — host wall-clock machinery) with the tier
+    bit-identity contract: :class:`ICStats` rides on
+    ``VMRunResult.ic_stats``, *outside* the signature, precisely so the
+    chain can never leak into simulated observables.
+    """
+
+    def _suite(self):
+        from repro.workloads.indirect import build_indirect_suite
+
+        return build_indirect_suite()
+
+    def test_bench_corpora_tiers_agree(self):
+        """Every bench corpus is bit-identical across tiers, and every
+        compiled-tier indirect resolution went through the IC path."""
+        for name, workload in sorted(self._suite().items()):
+            results = assert_equivalent(
+                lambda mode, wl=workload: run_vm(
+                    wl, "run", vm_config=_config(mode)
+                ),
+                context=("indirect-corpus", name),
+            )
+            compiled = results["compiled"]
+            ics = compiled.ic_stats
+            assert (ics.hits + ics.misses
+                    == compiled.stats.indirect_resolutions), name
+            # The oracle has no ICs: its counters must stay untouched.
+            interp = results["interpreted"].ic_stats
+            assert interp.hits == interp.misses == 0, name
+            assert interp.depth_hits == [0] * len(interp.depth_hits), name
+
+    def test_alternating_pair_hits_through_move_to_front(self):
+        """The acceptance corpus: >80% hit rate where the monomorphic
+        cell missed every call, with MTF keeping the pair in the top
+        two chain entries."""
+        workload = self._suite()["alternating_pair"]
+        result = run_vm(workload, "run", vm_config=_config("compiled"))
+        ics = result.ic_stats
+        assert ics.hit_rate > 0.8, ics.to_dict()
+        assert ics.depth_hits[0] > 0 and ics.depth_hits[1] > 0
+        assert ics.promotions > 0
+        # MTF keeps the working pair in the first two entries: nothing
+        # ever hits deeper.
+        assert sum(ics.depth_hits[2:]) == 0
+
+    def test_rotating_three_exercises_chain_depth(self):
+        """Three cycling targets settle at chain depth 3 under MTF (the
+        hit target moves to front, pushing the next one to the back)."""
+        workload = self._suite()["rotating_3"]
+        result = run_vm(workload, "run", vm_config=_config("compiled"))
+        ics = result.ic_stats
+        assert ics.hit_rate > 0.8, ics.to_dict()
+        assert ics.depth_hits[2] > 0
+        assert ics.promotions > 0
+
+    def test_megamorphic_chain_stays_bounded(self):
+        """Eight cycling targets overflow the chain: the callr site
+        misses by design (cycling + MTF is the chain's worst case), and
+        the chain must degrade to the dispatcher, not grow."""
+        from repro.vm.stats import IC_CHAIN_DEPTH
+
+        suite = self._suite()
+        workload = suite["megamorphic"]
+        result = run_vm(workload, "run", vm_config=_config("compiled"))
+        ics = result.ic_stats
+        # Hits come from the monomorphic ret site; the callr site's
+        # misses dominate, one per loop iteration.
+        iters = result.stats.indirect_resolutions // 2
+        assert ics.misses >= iters - IC_CHAIN_DEPTH * 2, ics.to_dict()
+        assert len(ics.depth_hits) == IC_CHAIN_DEPTH
+
+    def test_generation_bump_resets_stale_chain(self):
+        """Patching an IC'd target evicts its page but not the calling
+        closure: the survivor's chain is non-empty and stale, so the
+        generation guard must reset it wholesale and re-resolve into
+        the patched code."""
+        results = assert_equivalent(
+            lambda mode: Engine(config=_config(mode)).run(
+                load_process(build_ic_reset_image())
+            ),
+            context="ic-reset",
+        )
+        compiled = results["compiled"]
+        assert compiled.exit_status == 99
+        assert compiled.stats.smc_invalidations > 0
+        ics = compiled.ic_stats
+        assert ics.resets >= 1, ics.to_dict()
+        assert ics.hits > 0  # the chain was warm before the patch
+
+    def test_eviction_between_indirect_calls(self):
+        """A code pool small enough to flush mid-run churns every chain:
+        flushes kill all resident closures, so re-translated traces come
+        back with *fresh* (empty) ICs — no stale ``(target, resident)``
+        pair can survive into the next epoch, and the tiers stay
+        bit-identical through the churn.  (The surviving-closure case,
+        where the generation guard must reset a warm chain in place, is
+        ``test_generation_bump_resets_stale_chain``.)"""
+        config_kwargs = dict(code_pool_bytes=768)
+        results = assert_equivalent(
+            lambda mode: Engine(
+                config=VMConfig(dispatch_mode=mode, **config_kwargs)
+            ).run(load_process(build_indirect_image())),
+            context="ic-flush",
+        )
+        compiled = results["compiled"]
+        assert compiled.stats.cache_flushes > 0
+        ics = compiled.ic_stats
+        # Post-flush re-fills still land, and the IC path saw every
+        # compiled-tier indirect resolution despite the churn.
+        assert ics.hits > 0 and ics.fills > 0, ics.to_dict()
+        assert (ics.hits + ics.misses
+                == compiled.stats.indirect_resolutions), ics.to_dict()
 
 
 class TestHardCases:

@@ -44,6 +44,8 @@ class TestSessionLifecycle:
             "sidecar_new_entries",
             "shared_store_state", "shared_hits", "shared_misses",
             "shared_publishes", "shared_gc_evictions",
+            "shared_touch_refreshes",
+            "ic_hits", "ic_misses", "ic_resets", "ic_depth_hits",
         }
         assert set(report) == expected_keys
 

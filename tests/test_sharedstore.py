@@ -517,6 +517,77 @@ class TestEndToEnd:
         assert db_store.total_entries() == 0
 
 
+def shard_snapshot(store):
+    """Every digest in the pool -> (blob bytes, LRU stamp)."""
+    out = {}
+    for prefix in store._shard_prefixes():
+        for digest, (blob, stamp) in store._load_shard(prefix).items():
+            out[digest] = (len(blob), stamp)
+    return out
+
+
+class TestReadOnlyLruProtection:
+    def test_readonly_consumer_touch_protects_working_set(self, tmp_path):
+        """A read-only consumer's hot bodies must not starve under the
+        LRU cap.
+
+        Read-only write-back used to return before any publish, so a
+        consumer's shared hits never refreshed their LRU stamps: its
+        working set kept the stamps of whoever published it and was
+        evicted *first* by ``gc --max-bytes``, precisely backwards.
+        Now the read-only path publishes touch-only stamp refreshes (no
+        bodies, no sidecar write), so recently *used* beats recently
+        *published*.
+        """
+        workload = mini_workload()
+        store = SharedBodyStore(str(tmp_path / "store"), vm_version=VM_VERSION)
+        current = [1000]
+        store.clock = lambda: current[0]
+
+        # Donor X publishes working set A (input "a") at t=1000.
+        db_x = CacheDatabase(str(tmp_path / "db-x"), shared_store=store)
+        clear_code_object_cache()
+        compiled_run(workload, "a", db_x)
+        set_a = set(shard_snapshot(store))
+
+        # Donor Y publishes working set B (input "b") at t=2000.
+        current[0] = 2000
+        db_y = CacheDatabase(str(tmp_path / "db-y"), shared_store=store)
+        clear_code_object_cache()
+        compiled_run(workload, "b", db_y)
+        set_b_only = set(shard_snapshot(store)) - set_a
+        assert set_b_only  # the two working sets genuinely differ
+
+        # Read-only consumer re-runs input "a" at t=3000: every body it
+        # revives gets a touch-only stamp refresh, nothing else.
+        current[0] = 3000
+        consumer_dir = str(tmp_path / "db-c")
+        db_c = CacheDatabase(consumer_dir)
+        clear_code_object_cache()
+        warm = compiled_run(
+            workload, "a", db_c, readonly=True, shared_store=store
+        )
+        report = warm.persistence_report
+        assert report["shared_hits"] > 0
+        assert report["sidecar_host_compiles"] == 0
+        assert report["shared_touch_refreshes"] > 0
+        # Read-only means read-only: the consumer database wrote no
+        # sidecar (its revives must not turn into local state).
+        assert not os.path.exists(os.path.join(consumer_dir, SIDECAR_NAME))
+
+        stamps = shard_snapshot(store)
+        assert all(stamps[d][1] == 3000 for d in set_a)
+
+        # Cap the pool at exactly the consumer's working set: the LRU
+        # must shed donor Y's unused bodies (t=2000), not set A.
+        bytes_a = sum(stamps[d][0] for d in set_a)
+        gc_report = store.gc(max_bytes=bytes_a)
+        assert gc_report.lru_evicted_entries > 0
+        remaining = set(shard_snapshot(store))
+        assert set_a <= remaining
+        assert not (set_b_only & remaining)
+
+
 class TestCli:
     def test_cache_gc_json_roundtrip(self, tmp_path, capsys):
         from repro.cli import main
