@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Persistent-cache database directory for `make fsck` (override: make fsck DB=...)
 DB ?= /tmp/pcc-db
 
-.PHONY: test faultinject benchmarks bench-wallclock fsck stress gc
+.PHONY: test faultinject benchmarks bench-wallclock fsck stress gc replay-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,6 +31,20 @@ fsck:
 # Multi-process stress for the shared per-host body store.
 stress:
 	$(PYTHON) -m pytest -q tests/test_sharedstore_concurrency.py
+
+# Replay-log database for `make replay-smoke` (override: make replay-smoke RDB=...)
+RDB ?= /tmp/pcc-replay-db
+
+# Record/replay smoke (docs/record-replay.md): record one session per
+# nondeterminism-sensitive workload, then differentially replay the
+# whole database under both dispatch tiers.  Any structural divergence
+# or result drift fails the target.
+replay-smoke:
+	rm -rf $(RDB)
+	$(PYTHON) -m repro.cli run nondet dice short --record --pcache $(RDB)
+	$(PYTHON) -m repro.cli run nondet clockwork short --record --pcache $(RDB)
+	$(PYTHON) -m repro.cli run nondet relay long --record --pcache $(RDB) --layout-seed 7
+	$(PYTHON) -m repro.cli replay $(RDB) --diff
 
 # Shared per-host body store directory for `make gc` (override: make gc STORE=...)
 STORE ?= /tmp/pcc-shared-store

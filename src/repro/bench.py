@@ -24,6 +24,11 @@ workload families the cycle-level benchmarks regenerate from the paper:
   every trace pays a host ``compile()``) vs. ``shared`` (bodies revived
   from the pool A warmed: zero host ``compile()``\\ s).  B runs
   read-only so every repetition measures a genuinely cold database.
+* ``record_overhead``: plain GUI startup with vs. without a recording
+  session attached (:mod:`repro.replay`).  Recording logs every
+  completed syscall and scheduling decision; the acceptance criterion
+  caps its wall-clock cost at 10% over the plain run, so capturing a
+  session for later differential replay is always affordable.
 * ``indirect_heavy``: indirect-branch-bound microcorpora (alternating
   two-target pair, rotating three-target cycle, megamorphic
   eight-target table), no persistence.  The compiled tier's win here is
@@ -328,6 +333,31 @@ def _shared_store_sweep(scratch_dir: str):
     return sweep, extras
 
 
+def _record_overhead_sweep() -> Callable[[str], list]:
+    """Recording cost on plain GUI startup (acceptance: under 10%).
+
+    ``plain`` runs with no persistence session at all; ``record``
+    attaches a recording session (no database: the log is captured in
+    memory, which is all the per-syscall cost there is — the baseline
+    snapshot and write-out happen at store/access time, outside the
+    10% criterion).  Results must be identical: recording never alters
+    the run it observes.
+    """
+    apps, _store = build_gui_suite()
+    ordered = sorted(apps.items())
+
+    def sweep(mode: str) -> list:
+        return [
+            run_vm(app, "startup",
+                   persistence=(PersistenceConfig(record=True)
+                                if mode == "record" else None),
+                   vm_config=_config("compiled"))
+            for _name, app in ordered
+        ]
+
+    return sweep
+
+
 def _indirect_heavy_sweep():
     """Indirect-branch-bound corpora, no persistence.
 
@@ -433,6 +463,9 @@ def run_wallclock(
         "sidecar_cold_warm": _build_sidecar,
         "shared_store": _build_shared_store,
         "indirect_heavy": _build_indirect_heavy,
+        "record_overhead": lambda: (
+            _record_overhead_sweep(), ("plain", "record"), None
+        ),
     }
     selected = families if families is not None else tuple(builders)
     unknown = [name for name in selected if name not in builders]

@@ -9,6 +9,9 @@ Usage::
     python -m repro run oracle oracle Work --tool memtrace --pcache /tmp/db
     python -m repro run shell ls run --pcache /tmp/db
     python -m repro run gui gftp startup --pcache /tmp/db2 --shared-store /tmp/shared-store
+    python -m repro run nondet dice short --record --pcache /tmp/db
+    python -m repro replay /tmp/db --diff
+    python -m repro replay /tmp/db --log dice-short-0000.pcrl --mode compiled
     python -m repro timeline spec 176.gcc ref-1
     python -m repro pcache list /tmp/db
     python -m repro pcache show /tmp/db --index 0
@@ -22,8 +25,11 @@ Usage::
 
 ``run`` executes a workload input natively or under the DBI engine
 (optionally with instrumentation and a persistent-cache database) and
-prints the cycle breakdown; ``pcache`` inspects cache databases;
-``timeline`` renders the Figure 2(a)-style translation-request timeline.
+prints the cycle breakdown; ``run --record`` captures the session's
+nondeterminism into a PCRL1 replay log; ``replay`` re-runs recorded
+sessions against the current build and diffs them against their
+recorded baselines; ``pcache`` inspects cache databases; ``timeline``
+renders the Figure 2(a)-style translation-request timeline.
 """
 
 from __future__ import annotations
@@ -72,8 +78,12 @@ def _load_workloads(suite: str) -> Dict[str, Workload]:
     if suite == "shell":
         tools, _store = build_shell_suite()
         return tools
+    if suite == "nondet":
+        from repro.workloads.nondet import build_nondet_suite
+
+        return build_nondet_suite()
     raise SystemExit(
-        "unknown suite %r (choose: spec, gui, oracle, shell)" % suite
+        "unknown suite %r (choose: spec, gui, oracle, shell, nondet)" % suite
     )
 
 
@@ -98,7 +108,7 @@ def _layout(seed: Optional[int]):
 def cmd_list(args) -> int:
     """``repro list``: print every suite, workload and input."""
     rows = []
-    for suite in ("spec", "gui", "oracle", "shell"):
+    for suite in ("spec", "gui", "oracle", "shell", "nondet"):
         for name, workload in sorted(_load_workloads(suite).items()):
             rows.append(
                 {
@@ -117,6 +127,8 @@ def cmd_run(args) -> int:
     layout = _layout(args.layout_seed)
 
     if args.native:
+        if args.record:
+            raise SystemExit("--record requires the VM (drop --native)")
         result = run_native(workload, args.input, layout=layout)
         print("exit status:  %d" % result.exit_status)
         print("instructions: %d" % result.instructions)
@@ -125,7 +137,28 @@ def cmd_run(args) -> int:
 
     tool_factory = _TOOLS[args.tool]
     persistence = None
-    if args.pcache:
+    if args.record:
+        # Recording sessions are persistence-neutral: the cache tiers
+        # stay off so the captured result is a pure function of the
+        # program and the logged nondeterminism.
+        if args.inter_app or args.pic or args.readonly or args.shared_store:
+            raise SystemExit(
+                "--record disables the cache tiers; drop --inter-app/"
+                "--pic/--readonly/--shared-store"
+            )
+        persistence = PersistenceConfig(
+            database=CacheDatabase(args.pcache) if args.pcache else None,
+            record=True,
+            record_meta={
+                "name": "%s-%s" % (args.workload, args.input),
+                "suite": args.suite,
+                "workload": args.workload,
+                "input": args.input,
+                "tool_name": args.tool,
+                "layout_seed": args.layout_seed,
+            },
+        )
+    elif args.pcache:
         shared = None
         if args.shared_store:
             from repro.persist.sharedstore import SharedBodyStore
@@ -153,9 +186,84 @@ def cmd_run(args) -> int:
     print("traces translated:      %d" % stats.traces_translated)
     print("traces from pcache:     %d" % stats.traces_from_persistent)
     print("vm overhead fraction:   %.1f%%" % (100 * stats.overhead_fraction()))
-    if result.persistence_report:
+    if args.record:
+        report = result.persistence_report or {}
+        line = "recording: %s (%d events)" % (
+            report.get("record_state", "?"), report.get("record_events", 0)
+        )
+        if report.get("record_log"):
+            line += " -> %s" % report["record_log"]
+        print(line)
+    elif result.persistence_report:
         print("persistence: %s" % result.persistence_report)
     return 0
+
+
+def cmd_replay(args) -> int:
+    """``repro replay``: replay recorded sessions against this build.
+
+    With ``--log NAME`` one stored log is replayed (under ``--mode``,
+    default both dispatch tiers) and its result diffed against the
+    recorded baseline.  ``--diff`` sweeps every log in the database
+    through :class:`~repro.replay.harness.DifferentialReplayHarness`.
+    Exit code 0 only when every replay is bit-identical; structural
+    divergence, result drift, and unreadable logs all exit 1.
+    """
+    from repro.replay.harness import (
+        REPLAY_MODES,
+        DifferentialReplayHarness,
+        replay_session,
+        resolve_standard,
+    )
+    from repro.replay.session import ReplayDivergence
+
+    db = CacheDatabase(args.directory)
+    modes = REPLAY_MODES if args.mode == "both" else (args.mode,)
+
+    if args.log and not args.diff:
+        log = db.load_replay_log(args.log)
+        workload, input_name, tool_factory = resolve_standard(log.meta)
+        failures = 0
+        for mode in modes:
+            try:
+                outcome = replay_session(
+                    log, workload, input_name, tool=tool_factory(),
+                    dispatch_mode=mode,
+                )
+            except ReplayDivergence as exc:
+                print("%s [%s]: DIVERGENCE: %s" % (args.log, mode, exc))
+                failures += 1
+                continue
+            if outcome.bit_identical:
+                print("%s [%s]: bit-identical" % (args.log, mode))
+            else:
+                failures += 1
+                print("%s [%s]: %d field(s) differ"
+                      % (args.log, mode, len(outcome.diff)))
+                for line in outcome.diff:
+                    print("  %s" % line)
+        return 1 if failures else 0
+
+    report = DifferentialReplayHarness(db).replay_all(modes=modes)
+    if not report.outcomes:
+        print("(no replay logs in %s)" % args.directory)
+        return 0
+    rows = [
+        {
+            "log": outcome.log_name,
+            "mode": outcome.mode,
+            "status": outcome.status,
+            "detail": (outcome.detail or "; ".join(outcome.diff[:2]) or "-"),
+        }
+        for outcome in report.outcomes
+    ]
+    print(format_table(rows, columns=["log", "mode", "status", "detail"]))
+    counts = report.counts()
+    print("replay: %s (%s)" % (
+        "clean" if report.clean else "drift found",
+        ", ".join("%d %s" % (counts[k], k) for k in sorted(counts)),
+    ))
+    return 0 if report.clean else 1
 
 
 def cmd_timeline(args) -> int:
@@ -368,7 +476,7 @@ def cmd_bench(args) -> int:
             out_path=out_path,
         )
 
-    tier_rows, sidecar_rows, shared_rows = [], [], []
+    tier_rows, sidecar_rows, shared_rows, record_rows = [], [], [], []
     for name, family in sorted(results["workloads"].items()):
         if "isolated_s" in family:
             # The shared-store family times a never-warmed database's
@@ -384,6 +492,20 @@ def cmd_bench(args) -> int:
                         family["host_compiles_shared"],
                     ),
                     "shared_hits": "%d" % family["shared_hits_shared"],
+                    "identical": str(family["identical_results"]),
+                }
+            )
+        elif "plain_s" in family:
+            # The record-overhead family times plain vs. recording runs;
+            # the interesting number is the relative cost, not a speedup.
+            record_rows.append(
+                {
+                    "workload": name,
+                    "plain_s": "%.3f" % family["plain_s"],
+                    "record_s": "%.3f" % family["record_s"],
+                    "overhead": "%.1f%%" % (
+                        100.0 * (family["record_s"] / family["plain_s"] - 1.0)
+                    ),
                     "identical": str(family["identical_results"]),
                 }
             )
@@ -438,6 +560,13 @@ def cmd_bench(args) -> int:
             columns=["workload", "isolated_s", "shared_s", "speedup_x",
                      "host_compiles", "shared_hits", "identical"],
             title="Shared per-host store: DB-A warms DB-B",
+        ))
+    if record_rows:
+        print(format_table(
+            record_rows,
+            columns=["workload", "plain_s", "record_s", "overhead",
+                     "identical"],
+            title="Recording overhead: plain vs. record-enabled runs",
         ))
     ih_family = results["workloads"].get("indirect_heavy")
     if ih_family and ih_family.get("ic_per_corpus"):
@@ -504,6 +633,17 @@ def cmd_bench(args) -> int:
         )
         if not shared_ok:
             return 1
+    if args.check and "record_overhead" in results["workloads"]:
+        family = results["workloads"]["record_overhead"]
+        overhead_pct = 100.0 * (family["record_s"] / family["plain_s"] - 1.0)
+        record_ok = family["identical_results"] and overhead_pct < 10.0
+        print(
+            "record overhead: %.1f%% (cap 10%%), identical=%s -> %s"
+            % (overhead_pct, family["identical_results"],
+               "PASS" if record_ok else "FAIL")
+        )
+        if not record_ok:
+            return 1
     if args.check and "indirect_heavy" in results["workloads"]:
         family = results["workloads"]["indirect_heavy"]
         per = family.get("ic_per_corpus") or {}
@@ -556,7 +696,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub.set_defaults(func=cmd_list)
 
     sub = subparsers.add_parser("run", help="run a workload input")
-    sub.add_argument("suite", choices=("spec", "gui", "oracle", "shell"))
+    sub.add_argument("suite",
+                     choices=("spec", "gui", "oracle", "shell", "nondet"))
     sub.add_argument("workload")
     sub.add_argument("input")
     sub.add_argument("--native", action="store_true",
@@ -576,11 +717,33 @@ def build_parser() -> argparse.ArgumentParser:
                      help="do not write the cache back")
     sub.add_argument("--layout-seed", type=int, default=None,
                      help="perturb library load addresses with this seed")
+    sub.add_argument("--record", action="store_true",
+                     help="record the session's nondeterminism into a "
+                          "PCRL1 replay log (stored under --pcache when "
+                          "given; disables the cache tiers)")
     sub.set_defaults(func=cmd_run)
+
+    sub = subparsers.add_parser(
+        "replay", help="replay recorded sessions against this build"
+    )
+    sub.add_argument("directory",
+                     help="cache database holding the replay/ logs")
+    sub.add_argument("--log", metavar="NAME",
+                     help="replay only this stored log")
+    sub.add_argument("--diff", action="store_true",
+                     help="differential sweep: replay every stored log "
+                          "and diff against its recorded baseline")
+    sub.add_argument("--mode",
+                     choices=("interpreted", "compiled", "both"),
+                     default="both",
+                     help="dispatch tier(s) to replay under "
+                          "(default: both)")
+    sub.set_defaults(func=cmd_replay)
 
     sub = subparsers.add_parser("timeline",
                                 help="translation-request timeline (Fig 2a)")
-    sub.add_argument("suite", choices=("spec", "gui", "oracle", "shell"))
+    sub.add_argument("suite",
+                     choices=("spec", "gui", "oracle", "shell", "nondet"))
     sub.add_argument("workload")
     sub.add_argument("input")
     sub.add_argument("--width", type=int, default=72)
@@ -634,7 +797,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--family", action="append",
                      choices=("fig5a_gui", "fig2b_gui", "headline_spec",
                               "sidecar_cold_warm", "shared_store",
-                              "indirect_heavy"),
+                              "indirect_heavy", "record_overhead"),
                      help="run only this family (repeatable; default all)")
     sub.add_argument("--out", metavar="PATH",
                      help="result JSON path (default BENCH_wallclock.json "

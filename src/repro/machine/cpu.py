@@ -209,7 +209,11 @@ class Machine:
             for index, thread in enumerate(self.threads)
             if thread.alive
         ]
+        hook = self.os_state.nondet_hook
+        kind = "exit" if current_pc is None else "yield"
         if not candidates:
+            if hook is not None:
+                hook.on_schedule(kind, [], None)
             return None
         # Round-robin starting after the current slot.
         for index, thread in candidates:
@@ -217,6 +221,17 @@ class Machine:
                 break
         else:
             index, thread = candidates[0]
+        if hook is not None:
+            # Record/replay seam: recording logs the decision, replay may
+            # substitute a (runnable) thread id to pin the interleaving.
+            chosen_tid = hook.on_schedule(
+                kind, [t.tid for _, t in candidates], thread.tid
+            )
+            if chosen_tid != thread.tid:
+                for index, candidate in candidates:
+                    if candidate.tid == chosen_tid:
+                        thread = candidate
+                        break
         self.switch_to(thread)
         return thread.pc
 
@@ -549,6 +564,9 @@ def apply_thread_event(machine: Machine, result, next_pc):
     if result.spawn is not None:
         entry, argument = result.spawn
         thread = machine.create_thread(entry, argument)
+        hook = machine.os_state.nondet_hook
+        if hook is not None:
+            hook.on_spawn(thread.tid)
         machine.registers[regs.RV] = thread.tid
         return next_pc, None
     if result.yielded:

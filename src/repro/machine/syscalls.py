@@ -71,9 +71,40 @@ _LCG_MULTIPLIER = 6364136223846793005
 _LCG_INCREMENT = 1442695040888963407
 _MASK64 = (1 << 64) - 1
 
+#: The value-carrying nondeterminism surface of the synthetic OS: the
+#: syscalls whose *results* can differ between otherwise-identical runs
+#: (different host environment, different VM version's cycle accounting,
+#: a reseeded process).  The record-and-replay tier (:mod:`repro.replay`)
+#: logs exactly these values and substitutes them on replay; everything
+#: else the OS returns is a pure function of program state.  GETTID is
+#: included because its value follows the scheduling decisions, which
+#: replay also pins.
+NONDET_SYSCALLS = frozenset(
+    {SYS_GETPID, SYS_CLOCK, SYS_RAND, SYS_GETTID}
+)
+
 
 class SyscallError(Exception):
     """Raised for unknown syscall numbers or bad arguments."""
+
+
+class UnwiredClockError(RuntimeError):
+    """``SYS_CLOCK`` was dispatched before an execution engine wired
+    :attr:`OSState.clock`.
+
+    Historically the default clock silently returned 0, so a
+    mis-assembled harness read bogus-but-plausible timestamps instead of
+    failing.  The default now raises; the interpreter and the VM engine
+    both install a real clock before the first instruction executes.
+    """
+
+
+def _unwired_clock() -> int:
+    raise UnwiredClockError(
+        "SYS_CLOCK dispatched before the execution engine wired"
+        " OSState.clock (Interpreter and Engine.run both do this at"
+        " startup; direct OSState users must wire their own)"
+    )
 
 
 @dataclass
@@ -113,7 +144,16 @@ class OSState:
     #: Thread id of the currently scheduled thread (set by the executor).
     current_tid: int = 1
     #: Reads current consumed cycles, wired in by the execution engine.
-    clock: Callable[[], int] = lambda: 0
+    #: The default raises :class:`UnwiredClockError` — returning a fake 0
+    #: here used to mask harnesses that forgot to wire a real clock.
+    clock: Callable[[], int] = field(default=_unwired_clock)
+    #: Record/replay seam: an object with an
+    #: ``on_syscall(number, name, result) -> result`` method, consulted
+    #: after every *completed* syscall.  Recording hooks log the result;
+    #: replay hooks substitute the logged value for the
+    #: :data:`NONDET_SYSCALLS` subset.  ``None`` (the default) costs one
+    #: attribute check per syscall.
+    nondet_hook: Optional[object] = None
 
     def next_random(self) -> int:
         self.rng_state = (
@@ -142,8 +182,23 @@ def dispatch_syscall(
     name = SYSCALL_NAMES.get(number)
     if name is None:
         raise SyscallError("unknown syscall %d" % number)
+    result = _execute(os_state, number, name, args, read_bytes)
+    # Count only *completed* syscalls: a raising write/brk must not
+    # perturb the counts, or replay stat-diffing picks up phantom noise.
     os_state.syscall_counts[name] = os_state.syscall_counts.get(name, 0) + 1
+    hook = os_state.nondet_hook
+    if hook is not None:
+        result = hook.on_syscall(number, name, result)
+    return result
 
+
+def _execute(
+    os_state: OSState,
+    number: int,
+    name: str,
+    args: List[int],
+    read_bytes: Callable[[int, int], bytes],
+) -> SyscallResult:
     if number == SYS_EXIT:
         return SyscallResult(exited=True, exit_status=args[0], name=name)
     if number == SYS_WRITE:

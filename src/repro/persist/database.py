@@ -55,6 +55,16 @@ from repro.persist.storage import FileStorage, TMP_SUFFIX
 INDEX_NAME = "index.json"
 LOCK_NAME = "index.lock"
 QUARANTINE_DIR = "quarantine"
+#: Subdirectory holding recorded replay-session logs (PCRL1 files).
+REPLAY_DIR = "replay"
+
+
+def _sanitize_log_name(name: str) -> str:
+    """Filesystem-safe stem for a replay-log filename."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch in "-_." else "-" for ch in name
+    )
+    return cleaned[:48] or "session"
 
 
 @dataclass(frozen=True)
@@ -174,8 +184,10 @@ class CacheDatabase:
         source = os.path.join(self.directory, filename)
         quarantine_dir = os.path.join(self.directory, QUARANTINE_DIR)
         try:
-            self.storage.makedirs(quarantine_dir)
             destination = os.path.join(quarantine_dir, filename)
+            # ``filename`` may live in a subdirectory (replay logs):
+            # mirror it under quarantine/ so the move always has a home.
+            self.storage.makedirs(os.path.dirname(destination))
             serial = 0
             while self.storage.exists(destination):
                 serial += 1
@@ -404,6 +416,80 @@ class CacheDatabase:
             self.storage.write_atomic(path, store.to_bytes())
         return len(store.entries)
 
+    # -- replay-session logs -------------------------------------------------
+
+    def replay_directory(self) -> str:
+        return os.path.join(self.directory, REPLAY_DIR)
+
+    def store_replay_log(self, log, name: Optional[str] = None) -> str:
+        """Atomically write one ``PCRL1`` session log; returns its name.
+
+        ``name`` defaults to a sanitized, serial-suffixed identity drawn
+        from the log's meta, so repeated recordings of one workload
+        never clobber each other.  The write is the same atomic
+        write-replace every database file uses.
+        """
+        from repro.replay.log import REPLAY_LOG_SUFFIX
+
+        directory = self.replay_directory()
+        self.storage.makedirs(directory)
+        if name is None:
+            base = _sanitize_log_name(
+                str(
+                    log.meta.get("name")
+                    or log.meta.get("workload")
+                    or "session"
+                )
+            )
+            existing = set(self.storage.listdir(directory))
+            serial = 0
+            while True:
+                name = "%s-%04d%s" % (base, serial, REPLAY_LOG_SUFFIX)
+                if name not in existing:
+                    break
+                serial += 1
+        elif not name.endswith(REPLAY_LOG_SUFFIX):
+            name += REPLAY_LOG_SUFFIX
+        self.storage.write_atomic(
+            os.path.join(directory, name), log.to_bytes()
+        )
+        return name
+
+    def load_replay_log(self, name: str):
+        """Read one stored session log back.
+
+        A structurally damaged log is quarantined (moved into
+        ``quarantine/replay/``, never deleted) and the
+        :class:`~repro.replay.log.ReplayLogError` re-raised — replay
+        against damaged evidence must fail loudly, not silently run
+        live.  IO errors propagate as-is.
+        """
+        from repro.replay.log import ReplayLog, ReplayLogError
+
+        path = os.path.join(self.replay_directory(), name)
+        blob = self.storage.read_bytes(path)
+        try:
+            return ReplayLog.from_bytes(blob)
+        except ReplayLogError as exc:
+            self._quarantine(
+                "%s/%s" % (REPLAY_DIR, name),
+                "damaged %s: %s" % (exc.section or "unknown", exc),
+            )
+            raise
+
+    def list_replay_logs(self) -> List[str]:
+        """Names of every stored session log, sorted."""
+        from repro.replay.log import REPLAY_LOG_SUFFIX
+
+        directory = self.replay_directory()
+        if not self.storage.exists(directory):
+            return []
+        return sorted(
+            name
+            for name in self.storage.listdir(directory)
+            if name.endswith(REPLAY_LOG_SUFFIX)
+        )
+
     def clear(self) -> None:
         """Remove every cache file and reset the index."""
         for entry in self._entries:
@@ -430,6 +516,7 @@ class CacheDatabase:
         """
         report = FsckReport()
         self._fsck_sidecar(report, quarantine, vm_version)
+        self._fsck_replay_logs(report, quarantine)
         indexed = set()
         for entry in list(self._entries):
             indexed.add(entry.filename)
@@ -475,6 +562,46 @@ class CacheDatabase:
                     FsckItem(filename, "orphan", detail="not in the index")
                 )
         return report
+
+    def _fsck_replay_logs(self, report: FsckReport, quarantine: bool) -> None:
+        """Health-check every recorded replay log for :meth:`fsck`."""
+        from repro.replay.log import REPLAY_LOG_SUFFIX, verify_replay_log
+
+        directory = self.replay_directory()
+        if not self.storage.exists(directory):
+            return
+        for name in self.storage.listdir(directory):
+            label = "%s/%s" % (REPLAY_DIR, name)
+            path = os.path.join(directory, name)
+            if name.endswith(TMP_SUFFIX):
+                report.items.append(
+                    FsckItem(
+                        label,
+                        "stale-tmp",
+                        detail="leftover from an interrupted atomic write",
+                    )
+                )
+                continue
+            if not name.endswith(REPLAY_LOG_SUFFIX):
+                continue
+            try:
+                blob = self.storage.read_bytes(path)
+            except OSError as exc:
+                report.items.append(
+                    FsckItem(label, "corrupt", detail=str(exc))
+                )
+                continue
+            damage = verify_replay_log(blob)
+            if not damage:
+                report.items.append(FsckItem(label, "ok"))
+                continue
+            for section, reason in sorted(damage.items()):
+                report.items.append(
+                    FsckItem(label, "corrupt", section, reason)
+                )
+            if quarantine:
+                self._quarantine(label, "fsck: %s" % damage)
+                report.quarantined.append(label)
 
     def _fsck_sidecar(
         self,

@@ -81,6 +81,25 @@ class PersistenceConfig:
     #: (CacheDatabase(shared_store=...)) when None.  Host-side only,
     #: like the sidecar.
     shared_store: Optional[object] = None
+    #: Record this run's nondeterminism into a ``PCRL1`` session log
+    #: (repro.replay), stored in the database's ``replay/`` directory at
+    #: exit (kept on the session as ``recorded_log`` when there is no
+    #: database).  Recording sessions run a *persistence-neutral*
+    #: profile: no cache lookup, preload or trace write-back — the
+    #: recorded ``VMStats`` baseline must be a pure function of the
+    #: program and its logged nondeterminism, so replay can reproduce
+    #: it bit-identically regardless of how warm any database is.
+    record: bool = False
+    #: Replay this :class:`repro.replay.log.ReplayLog` instead of
+    #: running live: logged syscall values and scheduling decisions are
+    #: substituted at every nondeterminism point, and any structural
+    #: divergence raises :class:`repro.replay.session.ReplayDivergence`.
+    #: Same persistence-neutral profile as recording.
+    replay_log: Optional[object] = None
+    #: Extra identity keys merged into a recording's log meta (workload
+    #: name, input, suite, layout seed, ...) so a differential harness
+    #: can rebuild the session later.
+    record_meta: Dict[str, object] = field(default_factory=dict)
 
 
 @dataclass
@@ -150,6 +169,20 @@ class PersistenceReport:
     ic_misses: int = 0
     ic_resets: int = 0
     ic_depth_hits: List[int] = field(default_factory=list)
+    #: Record-and-replay lifecycle (repro.replay; the session is
+    #: persistence-neutral in either mode, so these are report-only):
+    #: recording: "" (off), "recording", "written", "unsaved" (no
+    #: database to store into), or "write-error: ...".
+    record_state: str = ""
+    #: Nondeterminism events captured by a recording session.
+    record_events: int = 0
+    #: Filename of the stored log inside the database's replay/ dir.
+    record_log: str = ""
+    #: Replay: "" (off), "replaying", or "replayed" (log fully
+    #: consumed; a divergence raises instead of reporting).
+    replay_state: str = ""
+    #: Recorded events consumed by a completed replay.
+    replay_events: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return dict(self.__dict__)
@@ -161,6 +194,18 @@ class PersistentCacheSession:
     def __init__(self, config: PersistenceConfig):
         self.config = config
         self.report_data = PersistenceReport()
+        if config.record and config.replay_log is not None:
+            raise ValueError(
+                "a session cannot record and replay at the same time"
+            )
+        #: Record/replay sessions run the persistence-neutral profile:
+        #: every trace-cache hook below is a no-op for them.
+        self._rr = config.record or config.replay_log is not None
+        self._record_hook = None
+        self._replay_hook = None
+        self._record_meta: Dict[str, object] = {}
+        self._recorded_log = None
+        self._pending_log = None
         self._cache: Optional[PersistentCache] = None
         self._current_keys: Dict[str, MappingKey] = {}
         self._app_key: Optional[MappingKey] = None
@@ -193,6 +238,12 @@ class PersistentCacheSession:
     # -- engine hooks ------------------------------------------------------------
 
     def on_process_start(self, engine, machine, cache, stats) -> None:
+        if self._rr:
+            # Persistence-neutral profile: no lookup/preload (and no
+            # sidecar — nothing will be written back), just the
+            # nondeterminism hook on the machine seam.
+            self._attach_replay(engine, machine)
+            return
         self._start(engine, machine, cache, stats)
         # The sidecar attaches last, after the quarantine-event sync, so
         # a damaged sidecar is never mistaken for a damaged trace cache:
@@ -319,6 +370,8 @@ class PersistentCacheSession:
         time: compute and check the module's key, invalidate its retained
         translations on mismatch, and preload them on a match.
         """
+        if self._rr:
+            return
         image = mapping.image
         key = mapping_key(image, mapping.base, mapping.size)
         self._current_keys[image.path] = key
@@ -376,6 +429,8 @@ class PersistentCacheSession:
         that is never loaded at exit time still contributes its
         translations to the cache.
         """
+        if self._rr:
+            return
         for resident in evicted:
             if resident.from_persistent:
                 continue  # already in the loaded cache file
@@ -387,14 +442,113 @@ class PersistentCacheSession:
 
     def on_cache_flush(self, engine, machine, cache, stats) -> None:
         """Write-back triggered by intra-execution cache exhaustion."""
+        if self._rr:
+            return
         self._write_back(engine, machine, cache, stats)
 
     def on_exit(self, engine, machine, cache, stats) -> None:
+        if self._rr:
+            return
         self._collect_sidecar_counters(engine)
         self._write_back(engine, machine, cache, stats)
 
+    def on_result(self, engine, result) -> None:
+        """Post-run hook: the ``VMRunResult`` exists (record needs it for
+        the baseline snapshot; replay verifies the log ran dry).
+
+        A recording's log-write failure is contained *here* (report-only
+        ``record_state``), never via the engine's degradation backstop —
+        the live run is already complete and must stay untouched.  A
+        replay divergence, by contrast, raises: ``ReplayDivergence`` is
+        a plain ``Exception`` the backstop does not catch.
+        """
+        if self._record_hook is not None:
+            from repro.replay.log import ReplayLog, result_snapshot
+
+            events = list(self._record_hook.events)
+            self.report_data.record_events = len(events)
+            database = self.config.database
+            if database is None:
+                # Nowhere to store it: defer the baseline snapshot (the
+                # only non-trivial recording cost) to the first
+                # ``recorded_log`` access, so an unsaved recording pays
+                # per-event cost only inside the run.
+                self._pending_log = (self._record_meta, events, result)
+                self.report_data.record_state = "unsaved"
+                return
+            log = ReplayLog(
+                meta=self._record_meta,
+                events=events,
+                baseline=result_snapshot(result),
+            )
+            self._recorded_log = log
+            try:
+                name = database.store_replay_log(log)
+            except STORAGE_FAILURES as exc:
+                self.report_data.record_state = "write-error: %s" % exc
+                return
+            self.report_data.record_state = "written"
+            self.report_data.record_log = name
+        elif self._replay_hook is not None:
+            self._replay_hook.verify_exhausted()
+            self.report_data.replay_state = "replayed"
+            self.report_data.replay_events = self._replay_hook.cursor
+
     def report(self) -> Dict[str, object]:
         return self.report_data.to_dict()
+
+    @property
+    def recorded_log(self):
+        """The finished ReplayLog of a recording session.
+
+        Stored logs are built eagerly (serialization needs the baseline
+        anyway); an unsaved recording builds its log here on first
+        access instead of inside the timed run.
+        """
+        if self._recorded_log is None and self._pending_log is not None:
+            from repro.replay.log import ReplayLog, result_snapshot
+
+            meta, events, result = self._pending_log
+            self._pending_log = None
+            self._recorded_log = ReplayLog(
+                meta=meta, events=events, baseline=result_snapshot(result)
+            )
+        return self._recorded_log
+
+    # -- record / replay ---------------------------------------------------------
+
+    def _attach_replay(self, engine, machine) -> None:
+        """Wire the recording or replaying hook onto the machine seam."""
+        from repro.replay.session import RecordingHook, ReplayHook
+
+        self._started = True
+        os_state = machine.os_state
+        log = self.config.replay_log
+        if log is not None:
+            # Re-seed the initial OSState from the recording.  Replay
+            # substitutes every NONDET value anyway; this keeps direct
+            # state (pid in diagnostics, rng evolution) faithful too.
+            os_state.pid = int(log.meta.get("pid", os_state.pid))
+            os_state.rng_state = int(
+                log.meta.get("rng_state", os_state.rng_state)
+            )
+            hook = ReplayHook(log.events, os_state=os_state)
+            self._replay_hook = hook
+            self.report_data.replay_state = "replaying"
+        else:
+            meta = {
+                "pid": os_state.pid,
+                "rng_state": os_state.rng_state,
+                "vm_version": engine.config.vm_version,
+                "dispatch_mode": engine.config.dispatch_mode,
+                "tool": engine.tool.identity(),
+            }
+            meta.update(self.config.record_meta)
+            self._record_meta = meta
+            hook = RecordingHook()
+            self._record_hook = hook
+            self.report_data.record_state = "recording"
+        os_state.nondet_hook = hook
 
     # -- compiled-body sidecar ----------------------------------------------------
 

@@ -1,0 +1,193 @@
+"""Recording and replaying hooks for the machine's nondeterminism seam.
+
+Both hooks implement the three-method protocol consulted by the machine
+layer (:attr:`repro.machine.syscalls.OSState.nondet_hook`):
+
+``on_syscall(number, name, result) -> result``
+    Called after every *completed* syscall.  Recording logs the result
+    (value-carrying for the :data:`~repro.machine.syscalls.
+    NONDET_SYSCALLS` subset, structural otherwise); replay checks the
+    number against the log and substitutes the logged value.
+
+``on_schedule(kind, candidate_tids, default_tid) -> tid``
+    Called at every cooperative scheduling decision (``kind`` is
+    ``"yield"`` or ``"exit"``).  Recording logs the round-robin choice;
+    replay forces the logged thread (which must be runnable).
+
+``on_spawn(tid)``
+    Called when ``SYS_THREAD_CREATE`` materializes a new thread.
+    Recording logs the assigned tid; replay verifies it.
+
+Replay is **strict**: any structural divergence — a syscall out of
+order, a scheduling decision where the log has none, a logged thread
+that is not runnable, a log that runs dry or ends with events left
+over — raises :class:`ReplayDivergence` with a cycle-stamped location.
+``ReplayDivergence`` is a plain ``Exception`` (never ``OSError``) so it
+can never be mistaken for a storage failure and silently degraded by
+the persistence backstop: a diverging replay always fails loudly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.machine.syscalls import NONDET_SYSCALLS, SYSCALL_NAMES
+
+
+class ReplayDivergence(Exception):
+    """Strict replay found the live run deviating from the recording."""
+
+    def __init__(self, message: str, cycle=None, index: Optional[int] = None):
+        location = []
+        if index is not None:
+            location.append("event %d" % index)
+        if cycle is not None:
+            location.append("cycle %.0f" % cycle)
+        if location:
+            message = "%s (at %s)" % (message, ", ".join(location))
+        super().__init__(message)
+        self.cycle = cycle
+        self.index = index
+
+
+class RecordingHook:
+    """Appends one event per nondeterminism point; never alters the run."""
+
+    __slots__ = ("events",)
+
+    def __init__(self):
+        self.events: List[list] = []
+
+    def on_syscall(self, number: int, name: str, result):
+        if number in NONDET_SYSCALLS:
+            self.events.append(["v", number, result.value])
+        else:
+            self.events.append(["s", number])
+        return result
+
+    def on_schedule(self, kind, candidate_tids, default_tid):
+        self.events.append(
+            ["t", kind, -1 if default_tid is None else default_tid]
+        )
+        return default_tid
+
+    def on_spawn(self, tid: int) -> None:
+        self.events.append(["n", tid])
+
+
+class ReplayHook:
+    """Walks a recorded event stream, substituting logged nondeterminism.
+
+    ``os_state`` (when given) supplies the cycle stamp for divergence
+    locations — its ``clock`` is wired to the engine's running total
+    before the first instruction executes.
+    """
+
+    __slots__ = ("events", "cursor", "_os_state")
+
+    def __init__(self, events: List[list], os_state=None):
+        self.events = events
+        self.cursor = 0
+        self._os_state = os_state
+
+    # -- location stamping --------------------------------------------------
+
+    def _cycles(self):
+        if self._os_state is None:
+            return None
+        try:
+            return self._os_state.clock()
+        except Exception:
+            return None
+
+    def _diverge(self, message: str) -> "ReplayDivergence":
+        return ReplayDivergence(message, cycle=self._cycles(), index=self.cursor)
+
+    def _next(self, performing: str) -> list:
+        if self.cursor >= len(self.events):
+            raise self._diverge(
+                "log exhausted: live run performed %s past the recorded end"
+                % performing
+            )
+        return self.events[self.cursor]
+
+    # -- the hook protocol --------------------------------------------------
+
+    def on_syscall(self, number: int, name: str, result):
+        event = self._next("syscall %s(%d)" % (name, number))
+        tag = event[0]
+        if tag not in ("v", "s"):
+            raise self._diverge(
+                "recorded a %r event but the live run performed syscall %s"
+                % (tag, name)
+            )
+        logged_number = event[1]
+        if logged_number != number:
+            raise self._diverge(
+                "syscall order diverged: recorded %s(%d), live run performed"
+                " %s(%d)"
+                % (
+                    SYSCALL_NAMES.get(logged_number, "?"),
+                    logged_number,
+                    name,
+                    number,
+                )
+            )
+        self.cursor += 1
+        if tag == "v":
+            result.value = event[2]
+        return result
+
+    def on_schedule(self, kind, candidate_tids, default_tid):
+        event = self._next("a %s scheduling decision" % kind)
+        if event[0] != "t":
+            raise self._diverge(
+                "recorded a %r event but the live run reached a scheduling"
+                " decision" % (event[0],)
+            )
+        if event[1] != kind:
+            raise self._diverge(
+                "scheduler mismatch: recorded a %s decision, live run"
+                " scheduling after a %s" % (event[1], kind)
+            )
+        self.cursor += 1
+        logged_tid = event[2]
+        if logged_tid == -1:
+            if candidate_tids:
+                raise self._diverge(
+                    "recorded run had no runnable threads here; live run has"
+                    " %r" % (candidate_tids,)
+                )
+            return None
+        if logged_tid not in candidate_tids:
+            raise self._diverge(
+                "recorded thread %d is not runnable in the live run"
+                " (candidates %r)" % (logged_tid, candidate_tids)
+            )
+        return logged_tid
+
+    def on_spawn(self, tid: int) -> None:
+        event = self._next("a thread spawn")
+        if event[0] != "n":
+            raise self._diverge(
+                "recorded a %r event but the live run spawned a thread"
+                % (event[0],)
+            )
+        if event[1] != tid:
+            raise self._diverge(
+                "spawn mismatch: recorded tid %d, live run created tid %d"
+                % (event[1], tid)
+            )
+        self.cursor += 1
+
+    # -- end-of-run verification -------------------------------------------
+
+    def verify_exhausted(self) -> None:
+        """Strictness at the far end: trailing events mean the live run
+        ended early relative to the recording."""
+        remaining = len(self.events) - self.cursor
+        if remaining:
+            raise self._diverge(
+                "replay ended with %d recorded event(s) unconsumed"
+                % remaining
+            )

@@ -318,7 +318,7 @@ class Engine:
             self._persist_hook("on_exit", stats, machine, cache, stats)
             persistence_report = self.persistence.report()
 
-        return VMRunResult(
+        result = VMRunResult(
             exit_status=exit_status,
             output=bytes(machine.os_state.output),
             instructions=stats.instructions_executed,
@@ -330,6 +330,17 @@ class Engine:
             persistence_report=persistence_report,
             ic_stats=ic_stats,
         )
+        if self.persistence is not None and hasattr(
+            self.persistence, "on_result"
+        ):
+            # Post-run tap for the record/replay tier: the recording
+            # session snapshots the finished result into its log; replay
+            # verifies the log ran dry.  Runs after the VMRunResult is
+            # built (the baseline needs it) and re-snapshots the report
+            # so record/replay outcomes reach the caller.
+            self._persist_hook("on_result", stats, result)
+            result.persistence_report = self.persistence.report()
+        return result
 
     # -- compilation -------------------------------------------------------------
 

@@ -1,0 +1,169 @@
+"""Nondeterminism-sensitive workloads for the record/replay tier.
+
+The standard synthetic suites use ``SYS_RAND`` only as a cheap
+side-effect-free syscall — the value is dropped, so a replay that
+substituted the *wrong* random value would still look bit-identical.
+These workloads close that hole: every nondeterministic result the OS
+hands back (rand, pid, clock, tid, spawn order) flows into the program's
+**output bytes** and/or **exit status**, so one flipped logged value is
+visible in the replayed result.  The differential-replay canary test
+depends on this property.
+
+Three programs:
+
+* ``dice`` — a rand loop whose values are written out verbatim and
+  XOR-folded into the exit status, followed by getpid and clock probes.
+* ``clockwork`` — interleaved clock reads written out (the classic
+  timing-nondeterminism surface), closed by a gettid probe.
+* ``relay`` — spawns two worker threads; workers and main interleave
+  through yields, each writing its tid and rand draws, so the output
+  byte order encodes the complete scheduling sequence.
+
+All three read their iteration count from ``a2`` (the standard
+``InputSpec.hot_iterations`` slot) and run the loop body at least once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.binfmt.image import ImageBuilder, ImageKind
+from repro.isa import instructions as ins
+from repro.isa import registers as regs
+from repro.machine.syscalls import (
+    SYS_CLOCK,
+    SYS_EXIT,
+    SYS_GETPID,
+    SYS_GETTID,
+    SYS_RAND,
+    SYS_THREAD_CREATE,
+    SYS_WRITE,
+    SYS_YIELD,
+)
+from repro.workloads.builder import FunctionCode, InputSpec
+from repro.workloads.harness import Workload
+
+
+def _syscall(fn: FunctionCode, number: int) -> None:
+    fn.emit(ins.movi(regs.RV, number))
+    fn.emit(ins.syscall())
+
+
+def _write_rv(fn: FunctionCode) -> None:
+    """Append ``rv``'s 8 bytes to the program output (via the stack)."""
+    fn.emit(ins.st(regs.SP, regs.RV, 0))
+    fn.emit(ins.movi(regs.A0, 8))
+    fn.emit(ins.or_(regs.A1, regs.SP, regs.ZERO))
+    _syscall(fn, SYS_WRITE)
+
+
+def _loop(fn: FunctionCode, body) -> None:
+    """Run ``body()`` ``s1`` times (at least once), counting in ``t0``."""
+    fn.emit(ins.movi(regs.T0, 0))
+    loop_head = len(fn.code)
+    body()
+    fn.emit(ins.addi(regs.T0, regs.T0, 1))
+    here = len(fn.code)
+    fn.emit(ins.blt(regs.T0, regs.S1, (loop_head - (here + 1)) * 8))
+
+
+def _build_dice():
+    image = ImageBuilder("nondet/dice", ImageKind.EXECUTABLE)
+    main = FunctionCode()
+    main.emit(ins.or_(regs.S1, regs.A2, regs.ZERO))
+    main.emit(ins.or_(regs.S0, regs.ZERO, regs.ZERO))
+
+    def body():
+        _syscall(main, SYS_RAND)
+        main.emit(ins.xor(regs.S0, regs.S0, regs.RV))
+        _write_rv(main)
+
+    _loop(main, body)
+    _syscall(main, SYS_GETPID)
+    _write_rv(main)
+    _syscall(main, SYS_CLOCK)
+    _write_rv(main)
+    # Exit status folds every random draw: value drift also flips it.
+    main.emit(ins.andi(regs.A0, regs.S0, 63))
+    _syscall(main, SYS_EXIT)
+    image.add_function("main", main.code, symbol_refs=main.symbol_refs)
+    image.set_entry("main")
+    return image.build()
+
+
+def _build_clockwork():
+    image = ImageBuilder("nondet/clockwork", ImageKind.EXECUTABLE)
+    main = FunctionCode()
+    main.emit(ins.or_(regs.S1, regs.A2, regs.ZERO))
+
+    def body():
+        _syscall(main, SYS_CLOCK)
+        _write_rv(main)
+        _syscall(main, SYS_RAND)
+        _write_rv(main)
+
+    _loop(main, body)
+    _syscall(main, SYS_GETTID)
+    _write_rv(main)
+    main.emit(ins.movi(regs.A0, 0))
+    _syscall(main, SYS_EXIT)
+    image.add_function("main", main.code, symbol_refs=main.symbol_refs)
+    image.set_entry("main")
+    return image.build()
+
+
+def _build_relay():
+    image = ImageBuilder("nondet/relay", ImageKind.EXECUTABLE)
+
+    # Worker: announce the tid, let others run, draw and emit a random.
+    # Returning falls into the thread-exit shim (an "exit" scheduling
+    # decision the log must also capture).
+    worker = FunctionCode()
+    _syscall(worker, SYS_GETTID)
+    _write_rv(worker)
+    _syscall(worker, SYS_YIELD)
+    _syscall(worker, SYS_RAND)
+    _write_rv(worker)
+    worker.emit(ins.ret())
+    image.add_function("worker", worker.code, symbol_refs=worker.symbol_refs)
+
+    main = FunctionCode()
+    main.emit(ins.or_(regs.S1, regs.A2, regs.ZERO))
+    for argument in (1, 2):
+        # a0 = &worker (symbol relocation carried by the movi).
+        main.symbol_refs.append((len(main.code), "worker"))
+        main.emit(ins.movi(regs.A0, 0))
+        main.emit(ins.movi(regs.A1, argument))
+        _syscall(main, SYS_THREAD_CREATE)
+        _write_rv(main)  # the spawned tid
+
+    def body():
+        _syscall(main, SYS_YIELD)
+        _syscall(main, SYS_RAND)
+        _write_rv(main)
+
+    _loop(main, body)
+    _syscall(main, SYS_GETPID)
+    _write_rv(main)
+    main.emit(ins.movi(regs.A0, 0))
+    _syscall(main, SYS_EXIT)
+    image.add_function("main", main.code, symbol_refs=main.symbol_refs)
+    image.set_entry("main")
+    return image.build()
+
+
+def build_nondet_suite() -> Dict[str, Workload]:
+    """The three nondeterminism-sensitive workloads, standard inputs."""
+    inputs = {
+        "short": InputSpec(name="short", hot_iterations=4),
+        "long": InputSpec(name="long", hot_iterations=40),
+    }
+    return {
+        "dice": Workload(name="dice", image=_build_dice(), inputs=dict(inputs)),
+        "clockwork": Workload(
+            name="clockwork", image=_build_clockwork(), inputs=dict(inputs)
+        ),
+        "relay": Workload(
+            name="relay", image=_build_relay(), inputs=dict(inputs)
+        ),
+    }

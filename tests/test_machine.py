@@ -230,6 +230,61 @@ class TestSyscallDispatch:
         dispatch_syscall(os_state, SYS_RAND, [0] * 4, None)
         assert os_state.syscall_counts["rand"] == 2
 
+    def test_failed_syscall_is_not_counted(self):
+        """Counts record *completed* syscalls: a raising call must not
+        bump them (it used to, counting before validation)."""
+        os_state = self._os()
+        with pytest.raises(SyscallError):
+            dispatch_syscall(os_state, SYS_WRITE, [-1, 0, 0, 0], None)
+        assert "write" not in os_state.syscall_counts
+        os_state.heap_break = 0x1000
+        os_state.heap_limit = 0x1010
+        with pytest.raises(SyscallError):
+            dispatch_syscall(os_state, SYS_BRK, [0x100, 0, 0, 0], None)
+        assert "brk" not in os_state.syscall_counts
+        with pytest.raises(SyscallError):
+            dispatch_syscall(os_state, 999, [0] * 4, None)
+        assert os_state.syscall_counts == {}
+
+    def test_completed_syscall_is_counted(self):
+        os_state = self._os()
+        os_state.heap_break = 0x1000
+        os_state.heap_limit = 0x2000
+        dispatch_syscall(os_state, SYS_BRK, [0x10, 0, 0, 0], None)
+        assert os_state.syscall_counts == {"brk": 1}
+
+    def test_unwired_clock_raises(self):
+        """The default clock must fail loudly, not return a fake 0."""
+        from repro.machine.syscalls import UnwiredClockError
+
+        with pytest.raises(UnwiredClockError):
+            dispatch_syscall(self._os(), SYS_CLOCK, [0] * 4, None)
+        # The failed dispatch is uncounted (completed-only counting).
+        assert "clock" not in self._os().syscall_counts
+
+    def test_wired_clock_still_works(self):
+        os_state = self._os()
+        os_state.clock = lambda: 77
+        assert dispatch_syscall(os_state, SYS_CLOCK, [0] * 4, None).value == 77
+
+    def test_interpreter_wires_clock(self):
+        """Both execution engines install a real clock before the first
+        instruction, so SYS_CLOCK works end to end."""
+        machine = make_machine(
+            """
+            main:
+                movi rv, 4           ; SYS_CLOCK
+                syscall
+                or   a0, rv, zero
+                movi rv, 1
+                syscall
+            """
+        )
+        # Would raise UnwiredClockError if the interpreter forgot to
+        # wire the clock; the status is the (possibly 0) cycle reading.
+        result = run_native(machine)
+        assert result.exit_status >= 0
+
 
 class TestInterpreter:
     def test_tiny_program(self, tiny_image):

@@ -46,6 +46,8 @@ class TestSessionLifecycle:
             "shared_publishes", "shared_gc_evictions",
             "shared_touch_refreshes",
             "ic_hits", "ic_misses", "ic_resets", "ic_depth_hits",
+            "record_state", "record_events", "record_log",
+            "replay_state", "replay_events",
         }
         assert set(report) == expected_keys
 

@@ -1,0 +1,131 @@
+"""Differential-replay regression suite over the real workload corpus.
+
+Records the regression-driver corpus plus one representative workload
+per bench family, then replays everything under **both** dispatch tiers
+and asserts bit-identical results — the record/replay analog of the
+bench suite's cross-tier identity check, with the recorded baseline
+standing in for the live baseline run.
+
+Also proves the suite can actually fail: a seeded divergence (one
+mutated logged ``SYS_RAND`` value in a stored log) must be reported by
+``repro replay --diff`` with a nonzero exit code.
+"""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.machine.syscalls import SYS_RAND
+from repro.persist.database import CacheDatabase
+from repro.replay.harness import DifferentialReplayHarness, record_session
+from repro.workloads.nondet import build_nondet_suite
+
+from tests.test_persist_manager import mini_workload
+
+
+@pytest.fixture(scope="module")
+def corpus_db(tmp_path_factory):
+    """A database holding recordings of the whole differential corpus."""
+    db = CacheDatabase(str(tmp_path_factory.mktemp("replay-corpus") / "db"))
+
+    # Regression-driver corpus: the mini workload's full input set.
+    mini = mini_workload()
+    resolvable = {}
+    for input_name in sorted(mini.inputs):
+        outcome = record_session(mini, input_name, database=db)
+        resolvable[outcome.log_name] = (mini, input_name)
+
+    # One workload per bench family (suite-resolvable meta):
+    #   fig5a_gui / fig2b_gui / record_overhead -> a GUI startup;
+    #   headline_spec -> one SPEC2K Train run and one Oracle phase;
+    #   indirect_heavy -> one indirect-branch corpus.
+    from repro.workloads.gui import build_gui_suite
+    from repro.workloads.indirect import build_indirect_suite
+    from repro.workloads.oracle import PHASES, build_oracle
+    from repro.workloads.spec2k import build_suite
+
+    gui_apps, _store = build_gui_suite()
+    bench_members = [
+        (gui_apps["gftp"], "startup", None),
+        (sorted(build_suite().items())[0][1], "train", None),
+        (build_oracle(), PHASES[0], None),
+        (sorted(build_indirect_suite().items())[0][1], "run", None),
+    ]
+    # Plus the nondeterminism-sensitive suite (the only corpus members
+    # whose output depends on the logged values, hence the canary host).
+    nondet = build_nondet_suite()
+    for name in sorted(nondet):
+        bench_members.append((nondet[name], "short", "nondet"))
+
+    for workload, input_name, suite in bench_members:
+        outcome = record_session(
+            workload, input_name, database=db, suite=suite
+        )
+        resolvable[outcome.log_name] = (workload, input_name)
+
+    db.resolvable = resolvable  # test-only annotation
+    return db
+
+
+def _resolve(db):
+    """Resolver over the fixture's own workload objects (the bench
+    members are not all suite-addressable, so meta alone is not enough)."""
+
+    def resolve(meta):
+        for workload, input_name in db.resolvable.values():
+            if (workload.name == meta["workload"]
+                    and input_name == meta["input"]):
+                return workload, input_name, lambda: None
+        raise KeyError(meta.get("name"))
+
+    return resolve
+
+
+class TestDifferentialRegression:
+    def test_whole_corpus_replays_bit_identically(self, corpus_db):
+        """Every recording, both dispatch tiers, zero drift."""
+        harness = DifferentialReplayHarness(
+            corpus_db, resolve=_resolve(corpus_db)
+        )
+        report = harness.replay_all(modes=("interpreted", "compiled"))
+        problems = [o for o in report.outcomes if o.status != "match"]
+        assert report.clean, problems
+        assert len(report.outcomes) == 2 * len(corpus_db.list_replay_logs())
+
+    def test_seeded_divergence_canary(self, corpus_db, tmp_path, capsys):
+        """Mutating one logged SYS_RAND value in one log is detected by
+        ``repro replay --diff`` and flips the exit code."""
+        # Work on a copy so the module-scoped corpus stays pristine.
+        canary_db = CacheDatabase(str(tmp_path / "canary-db"))
+        source_name = next(
+            name for name in corpus_db.list_replay_logs()
+            if name.startswith("dice-")
+        )
+        log = corpus_db.load_replay_log(source_name)
+        for event in log.events:
+            if event[0] == "v" and event[1] == SYS_RAND:
+                event[2] = (event[2] + 1) & ((1 << 48) - 1)
+                break
+        else:
+            pytest.fail("dice recording carries no SYS_RAND event")
+        canary_db.store_replay_log(log, name=source_name)
+
+        exit_code = cli_main(["replay", str(tmp_path / "canary-db"), "--diff"])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "drift found" in out
+        assert "diff" in out
+
+    def test_canary_control_is_clean(self, corpus_db, tmp_path, capsys):
+        """The unmutated copy of the same log replays clean — so the
+        canary's failure is attributable to the mutation alone."""
+        control_db = CacheDatabase(str(tmp_path / "control-db"))
+        source_name = next(
+            name for name in corpus_db.list_replay_logs()
+            if name.startswith("dice-")
+        )
+        control_db.store_replay_log(
+            corpus_db.load_replay_log(source_name), name=source_name
+        )
+        exit_code = cli_main(["replay", str(tmp_path / "control-db"), "--diff"])
+        assert exit_code == 0
+        assert "replay: clean" in capsys.readouterr().out
