@@ -20,7 +20,9 @@ benchmarks:
 
 # Wall-clock dispatch-tier suite (docs/performance.md).  Writes
 # BENCH_wallclock.json at the repo root; fails if compiled dispatch is
-# slower than interpreted on the fig5a GUI workload.
+# slower than interpreted on the fig5a GUI workload, or if the
+# trace_linking family's linked tier diverges from the interpreted
+# oracle or bounces through the dispatcher on a stable chain.
 bench-wallclock:
 	$(PYTHON) -m repro.cli bench --check --check-threshold 1.0
 

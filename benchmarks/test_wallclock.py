@@ -47,6 +47,22 @@ def test_wallclock_dispatch_tiers(record, tmp_path_factory):
                    family["host_compiles_shared"],
                    family["identical_results"])
             )
+        elif "nolink_s" in family:
+            rows.append(
+                "%-18s nolink %.3fs  linked %.3fs  speedup %.2fx "
+                "(trimmed)  bounces %d  regions %d  identical=%s"
+                % (name, family["nolink_s"], family["linked_s"],
+                   family["speedup_trimmed_x"], family["link_bounces"],
+                   family["regions_fused"], family["identical_results"])
+            )
+        elif "plain_s" in family:
+            rows.append(
+                "%-18s plain %.3fs  record %.3fs  overhead %.1f%%  "
+                "identical=%s"
+                % (name, family["plain_s"], family["record_s"],
+                   100.0 * (family["record_s"] / family["plain_s"] - 1.0),
+                   family["identical_results"])
+            )
         elif "interpreted_s" in family:
             rows.append(
                 "%-18s interpreted %.3fs  compiled %.3fs  speedup %.2fx  "
@@ -84,6 +100,19 @@ def test_wallclock_dispatch_tiers(record, tmp_path_factory):
     indirect = results["workloads"]["indirect_heavy"]["ic_per_corpus"]
     assert indirect["alternating_pair"]["hit_rate"] > 0.8, indirect
     assert indirect["rotating_3"]["hit_rate"] > 0.8, indirect
+
+    # Trace linking + superblock fusion: the linked compiled tier must
+    # beat the unlinked one by 1.3x trimmed mean while staying
+    # bit-identical to both the unlinked tier and the interpreted
+    # oracle, with every stable-chain exit resolved in cache.
+    linking = results["workloads"]["trace_linking"]
+    assert linking["oracle_identical"], linking
+    assert linking["link_bounces"] == 0, linking
+    assert linking["regions_fused"] > 0, linking
+    assert linking["speedup_trimmed_x"] >= 1.3, (
+        "linked compiled tier %.2fx < 1.3x over nolink"
+        % linking["speedup_trimmed_x"]
+    )
 
     # The acceptance gate: compiled >= 1.5x on fig5a warm-persistent GUI
     # startup (the configuration Figure 5(a) celebrates).

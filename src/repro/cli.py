@@ -477,8 +477,27 @@ def cmd_bench(args) -> int:
         )
 
     tier_rows, sidecar_rows, shared_rows, record_rows = [], [], [], []
+    link_rows = []
     for name, family in sorted(results["workloads"].items()):
-        if "isolated_s" in family:
+        if "nolink_s" in family:
+            # The trace-linking family compares the compiled tier
+            # against itself with linking + fusion disabled; the
+            # headline number is the trimmed-mean speedup.
+            link_rows.append(
+                {
+                    "workload": name,
+                    "nolink_s": "%.3f" % family["nolink_s"],
+                    "linked_s": "%.3f" % family["linked_s"],
+                    "speedup_x": "%.2f" % family["speedup_trimmed_x"],
+                    "bounces": "%d" % family["link_bounces"],
+                    "regions": "%d" % family["regions_fused"],
+                    "identical": str(
+                        family["identical_results"]
+                        and family["oracle_identical"]
+                    ),
+                }
+            )
+        elif "isolated_s" in family:
             # The shared-store family times a never-warmed database's
             # cold run with vs. without the per-host body pool.
             shared_rows.append(
@@ -568,15 +587,35 @@ def cmd_bench(args) -> int:
                      "identical"],
             title="Recording overhead: plain vs. record-enabled runs",
         ))
+    if link_rows:
+        print(format_table(
+            link_rows,
+            columns=["workload", "nolink_s", "linked_s", "speedup_x",
+                     "bounces", "regions", "identical"],
+            title="Trace linking + superblock fusion "
+                  "(trimmed-mean speedup)",
+        ))
+    tl_family = results["workloads"].get("trace_linking")
+    if tl_family and tl_family.get("link_per_corpus"):
+        print("trace_linking chain corpora (linked compiled tier):")
+        for corpus, link in sorted(tl_family["link_per_corpus"].items()):
+            print(
+                "  %-10s direct hops %-7d region entries/hops %d/%d  "
+                "fused %d  bounces %d"
+                % (corpus, link["link_direct_hops"],
+                   link["region_entries"], link["region_hops"],
+                   link["regions_fused"], link["link_bounces"])
+            )
     ih_family = results["workloads"].get("indirect_heavy")
     if ih_family and ih_family.get("ic_per_corpus"):
         print("indirect_heavy inline-cache chains (compiled tier):")
         for corpus, ic in sorted(ih_family["ic_per_corpus"].items()):
             print(
-                "  %-17s hit rate %5.1f%%  hits/misses %d/%d  "
+                "  %-17s hit rate %5.1f%%  hits/overflow/misses %d/%d/%d  "
                 "promotions %d  depth hits %s"
                 % (corpus, 100.0 * ic["hit_rate"], ic["hits"],
-                   ic["misses"], ic["promotions"], ic["depth_hits"])
+                   ic["overflow_hits"], ic["misses"], ic["promotions"],
+                   ic["depth_hits"])
             )
     print("results written to %s" % out_path)
 
@@ -596,8 +635,8 @@ def cmd_bench(args) -> int:
                 else GATE_THRESHOLD_X
             )
             family = results["workloads"][GATE_WORKLOAD]
-            ok = (family["identical_results"]
-                  and family["speedup_x"] >= threshold)
+            trimmed = family.get("speedup_trimmed_x", family["speedup_x"])
+            ok = family["identical_results"] and trimmed >= threshold
             if not ok:
                 return 1
     if args.check and "sidecar_cold_warm" in results["workloads"]:
@@ -666,6 +705,39 @@ def cmd_bench(args) -> int:
         )
         if not ic_ok:
             return 1
+    if args.check and "trace_linking" in results["workloads"]:
+        family = results["workloads"]["trace_linking"]
+        # The linked tier must win without changing a single observable:
+        # bit-identical to the no-link tier AND to the interpreted
+        # oracle, with every stable-chain exit resolved in cache (zero
+        # dispatcher bounces) and fusion actually engaged.
+        link_ok = (
+            family["identical_results"]
+            and family["oracle_identical"]
+            and family["link_bounces"] == 0
+            and family["regions_fused"] > 0
+        )
+        print(
+            "trace linking: identical=%s oracle=%s bounces=%d "
+            "regions=%d -> %s"
+            % (family["identical_results"], family["oracle_identical"],
+               family["link_bounces"], family["regions_fused"],
+               "PASS" if link_ok else "FAIL")
+        )
+        if not link_ok:
+            return 1
+    if args.check:
+        # Noise advisory (never flips the exit code): a family whose
+        # per-mode max-over-min spread exceeds the threshold ran on a
+        # machine too loaded for its numbers to be trusted.
+        for name, family in sorted(results["workloads"].items()):
+            for key in sorted(family):
+                if key.endswith("_spread_pct") and family[key] > 25.0:
+                    print(
+                        "warning: %s %s %.0f%% exceeds 25%% — rerun on "
+                        "a quieter machine before trusting the speedup"
+                        % (name, key, family[key])
+                    )
     return 0
 
 
@@ -790,14 +862,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub = subparsers.add_parser(
         "bench", help="wall-clock dispatch-tier benchmark suite"
     )
-    sub.add_argument("--warmup", type=int, default=1,
-                     help="untimed repetitions per family/mode (default 1)")
+    sub.add_argument("--warmup", type=int, default=2,
+                     help="untimed repetitions per family/mode (default 2)")
     sub.add_argument("--reps", type=int, default=5,
                      help="timed repetitions per family/mode (default 5)")
     sub.add_argument("--family", action="append",
                      choices=("fig5a_gui", "fig2b_gui", "headline_spec",
                               "sidecar_cold_warm", "shared_store",
-                              "indirect_heavy", "record_overhead"),
+                              "indirect_heavy", "record_overhead",
+                              "trace_linking"),
                      help="run only this family (repeatable; default all)")
     sub.add_argument("--out", metavar="PATH",
                      help="result JSON path (default BENCH_wallclock.json "

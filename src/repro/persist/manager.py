@@ -169,6 +169,20 @@ class PersistenceReport:
     ic_misses: int = 0
     ic_resets: int = 0
     ic_depth_hits: List[int] = field(default_factory=list)
+    #: Hits served by the megamorphic hash-table tier behind the MRU
+    #: chain (zero until a call site overflows the chain depth).
+    ic_overflow_hits: int = 0
+    #: Cross-trace linking + superblock fusion counters from the
+    #: compiled tier (repro.vm.stats.LinkStats; host-side only, zeros
+    #: under interpreted dispatch or with trace_linking disabled).
+    link_direct_hops: int = 0
+    link_ic_hops: int = 0
+    link_bounces: int = 0
+    regions_fused: int = 0
+    region_entries: int = 0
+    region_hops: int = 0
+    region_invalidations: int = 0
+    fusion_aborts: int = 0
     #: Record-and-replay lifecycle (repro.replay; the session is
     #: persistence-neutral in either mode, so these are report-only):
     #: recording: "" (off), "recording", "written", "unsaved" (no
@@ -621,6 +635,17 @@ class PersistentCacheSession:
             self.report_data.ic_misses = ics.misses
             self.report_data.ic_resets = ics.resets
             self.report_data.ic_depth_hits = list(ics.depth_hits)
+            self.report_data.ic_overflow_hits = ics.overflow_hits
+        links = getattr(compiler, "link_stats", None)
+        if links is not None:
+            self.report_data.link_direct_hops = links.link_direct_hops
+            self.report_data.link_ic_hops = links.link_ic_hops
+            self.report_data.link_bounces = links.link_bounces
+            self.report_data.regions_fused = links.regions_fused
+            self.report_data.region_entries = links.region_entries
+            self.report_data.region_hops = links.region_hops
+            self.report_data.region_invalidations = links.region_invalidations
+            self.report_data.fusion_aborts = links.fusion_aborts
         store = self._body_store
         if store is not None and hasattr(store, "shared_hits"):
             self.report_data.shared_hits = store.shared_hits

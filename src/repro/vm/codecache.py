@@ -45,6 +45,8 @@ class CodeCacheStats:
     link_patches: int = 0
     lookups: int = 0
     hits: int = 0
+    regions_registered: int = 0
+    region_invalidations: int = 0
 
 
 class CodeCache:
@@ -73,6 +75,15 @@ class CodeCache:
         self._by_entry: Dict[int, TranslatedTrace] = {}
         #: Unresolved direct exits, keyed by their original target address.
         self._pending_links: Dict[int, List[LinkSlot]] = {}
+        #: Superblock regions: head entry -> member entries, in chain
+        #: order (head first).  The head trace's ``compiled_body`` is the
+        #: fused region closure; a region dies as a unit the moment any
+        #: member leaves the cache.
+        self._regions: Dict[int, Tuple[int, ...]] = {}
+        #: Reverse index: member entry -> owning region's head entry
+        #: (heads map to themselves).  A trace belongs to at most one
+        #: region.
+        self._region_of: Dict[int, int] = {}
 
     # -- lookup -------------------------------------------------------------
 
@@ -156,6 +167,9 @@ class CodeCache:
         # The compiled-tier closure dies with its cache residency (SMC or
         # module unload invalidated the code it specializes).
         translated.invalidate_compiled()
+        # A superblock region dies as a unit with any of its members: the
+        # fused closure bakes in every member's instruction stream.
+        self.invalidate_region_containing(entry)
         for other in self._by_entry.values():
             for slot in other.links:
                 if slot.linked_entry == entry:
@@ -196,10 +210,72 @@ class CodeCache:
                 slot.unlink()
         self._by_entry.clear()
         self._pending_links.clear()
+        self.stats.region_invalidations += len(self._regions)
+        self._regions.clear()
+        self._region_of.clear()
         self.code_used = 0
         self.data_used = 0
         self.stats.flushes += 1
         return discarded
+
+    # -- superblock regions ----------------------------------------------------
+
+    def register_region(self, member_entries: List[int]) -> None:
+        """Record a fused superblock over ``member_entries`` (chain
+        order, head first).  Callers must have installed the fused
+        closure as the head trace's ``compiled_body``.
+
+        Raises:
+            ValueError: if the chain is degenerate, a member is not
+                resident, or a member already belongs to a region — the
+                fusion driver is expected to pre-check all three.
+        """
+        if len(member_entries) < 2:
+            raise ValueError("a region needs at least two members")
+        for entry in member_entries:
+            if entry not in self._by_entry:
+                raise ValueError("region member 0x%x is not resident" % entry)
+            if entry in self._region_of:
+                raise ValueError(
+                    "trace 0x%x already belongs to a region" % entry
+                )
+        head = member_entries[0]
+        self._regions[head] = tuple(member_entries)
+        for entry in member_entries:
+            self._region_of[entry] = head
+        self.stats.regions_registered += 1
+
+    def region_of(self, entry: int) -> Optional[int]:
+        """Head entry of the region containing ``entry``, or None."""
+        return self._region_of.get(entry)
+
+    def region_members(self, head_entry: int) -> Tuple[int, ...]:
+        """Member entries of the region headed at ``head_entry``."""
+        return self._regions.get(head_entry, ())
+
+    def regions(self) -> Dict[int, Tuple[int, ...]]:
+        """All live regions, head entry -> member entries."""
+        return dict(self._regions)
+
+    def invalidate_region_containing(self, entry: int) -> bool:
+        """Drop the region that ``entry`` belongs to, if any.
+
+        The head trace's fused closure is invalidated (if the head is
+        still resident it falls back to its solo closure on the next
+        compile); middle members always kept their solo closures, so no
+        other state needs repair.  Returns True when a region died.
+        """
+        head = self._region_of.get(entry)
+        if head is None:
+            return False
+        members = self._regions.pop(head)
+        for member in members:
+            self._region_of.pop(member, None)
+        resident_head = self._by_entry.get(head)
+        if resident_head is not None:
+            resident_head.invalidate_compiled()
+        self.stats.region_invalidations += 1
+        return True
 
     # -- reporting -------------------------------------------------------------
 

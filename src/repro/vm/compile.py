@@ -74,6 +74,33 @@ Two PR-3 extensions complete that story:
   path — the IC is host-side memoization of the resolver, not a
   simulated-cost change — and the chain's hit/miss/depth accounting
   lands in :class:`repro.vm.stats.ICStats`, outside ``VMStats``.
+  A **megamorphic overflow tier** backs the chain: every resident the
+  site ever resolved is also remembered in a per-site hash table, so a
+  target that cycled out of the bounded chain still dispatches without
+  a translation-map lookup (``ICStats.overflow_hits``).
+
+Two PR-7 extensions close the paper's trace-linking story:
+
+* **Direct-exit linking** — every direct exit now returns the successor
+  *closure's trace* alongside its link slot, probed straight off the
+  slot's ``linked_resident`` seam.  The engine's chain trampoline
+  (:meth:`repro.vm.engine.Engine._execute_trace`) calls the successor's
+  closure immediately — a patched hot exit never re-enters the
+  dispatcher.  Safety is inherited, not re-invented: eviction/SMC/flush
+  eagerly unlink every incoming slot (the interpreter's invariant), so
+  a probe can never produce an evicted trace.
+* **Superblock regions** — a stable hot chain of direct-linked traces
+  (final-exit links only, so regions are straight-line) is fused by
+  :meth:`TraceCompiler.compile_region` into one closure concatenating
+  the member bodies.  Each junction re-emits the member's exact exit
+  accounting (same float literals, same order — batching never sums
+  across members, which would break IEEE bit-identity), then guards on
+  link identity (``slot.linked_resident is next_member``) and the
+  instruction budget before falling through into the next member's
+  inlined body; a failed guard side-exits through the member's own
+  slot, exactly like the solo closure.  Region factories flow through
+  the same memo and sidecar as trace factories (link state and member
+  objects are runtime captures, never marshaled).
 """
 
 from __future__ import annotations
@@ -96,13 +123,22 @@ from repro.machine.cpu import (
     syscall_uop_step,
 )
 from repro.vm.client import AnalysisContext, PointKind, ToolAccounting
-from repro.vm.stats import IC_CHAIN_DEPTH, ICStats, VMStats
+from repro.vm.stats import IC_CHAIN_DEPTH, ICStats, LinkStats, VMStats
 from repro.vm.trace import ExitKind
 from repro.vm.translator import TranslatedTrace
 
 #: Sentinel stored in ``TranslatedTrace.compiled_body`` when a trace
 #: cannot be specialized; the engine then executes it interpreted.
 UNCOMPILABLE = object()
+
+#: Trampoline hops through one final-exit link before the engine tries
+#: to fuse the chain downstream into a superblock region.  Low enough
+#: that steady-state loops fuse almost immediately, high enough that a
+#: cold path never pays region compilation.
+REGION_FUSE_THRESHOLD = 16
+#: Maximum member traces in one fused region (keeps generated bodies,
+#: and the blast radius of one member's invalidation, bounded).
+REGION_MAX_MEMBERS = 8
 
 
 class CompileError(Exception):
@@ -285,6 +321,8 @@ class TraceCompiler:
         analysis_context: AnalysisContext,
         code_cache=None,
         ic_stats: Optional[ICStats] = None,
+        link_stats: Optional[LinkStats] = None,
+        max_instructions: Optional[int] = None,
     ):
         self.machine = machine
         self.stats = stats
@@ -295,8 +333,13 @@ class TraceCompiler:
         #: Aggregated inline-cache accounting across every closure this
         #: compiler builds (host-side only, never part of VMStats).
         self.ic_stats = ic_stats if ic_stats is not None else ICStats()
+        #: Cross-trace linking accounting, shared with the engine's chain
+        #: trampoline (host-side only, never part of VMStats).
+        self.link_stats = link_stats if link_stats is not None else LinkStats()
         #: Traces specialized by this compiler (introspection/tests).
         self.compiled_count = 0
+        #: Superblock regions fused by this compiler.
+        self.regions_compiled = 0
         #: Host code-object memo hits observed by this compiler.
         self.code_memo_hits = 0
         #: Host ``compile()`` calls this compiler actually paid (factory
@@ -325,6 +368,14 @@ class TraceCompiler:
             cache=cache,
             cache_lookup=cache.lookup,
             ics=self.ic_stats,
+            links=self.link_stats,
+            # Region junctions re-check the instruction budget inline so a
+            # fused chain faults exactly where the dispatcher would have.
+            # Run-scoped capture (not baked into source) so region
+            # factories stay budget-independent for memo/sidecar reuse.
+            budget=(
+                max_instructions if max_instructions is not None else 1 << 62
+            ),
         )
 
     def attach_body_store(self, store) -> None:
@@ -353,7 +404,9 @@ class TraceCompiler:
             if cached is None:
                 digest = _body_digest(key)
                 make, body_bytes = self._build_factory(
-                    translated, slots, callbacks, digest
+                    lambda: self._generate(translated, slots, callbacks),
+                    "<trace@0x%x>" % translated.entry,
+                    digest,
                 )
                 if len(_FACTORIES) >= _FACTORIES_CAP:
                     _FACTORIES.clear()
@@ -374,12 +427,61 @@ class TraceCompiler:
         self.compiled_count += 1
         return body
 
-    def _build_factory(self, translated, slots, callbacks, digest: str):
+    def compile_region(self, members: List[TranslatedTrace]):
+        """Fuse a stable hot chain into one superblock closure.
+
+        ``members`` is the chain in execution order (head first); every
+        member must be resident and every junction link patched — the
+        engine's fusion driver (:meth:`repro.vm.engine.Engine._maybe_fuse`)
+        validates both.  Returns the region closure (the caller installs
+        it as the *head* trace's ``compiled_body``; middle members keep
+        their solo closures for middle entry), or None when any member
+        cannot be specialized.
+
+        Region factories ride the same memo and sidecar as trace
+        factories under a composite key: link slots, member trace
+        objects and analysis callbacks are runtime captures re-bound per
+        run, so no link state ever enters the marshaled code object.
+        """
+        try:
+            key = ("region",) + tuple(
+                _trace_key(member, self.cost) for member in members
+            )
+            slots: List[object] = []
+            callbacks: List[object] = []
+            for member in members:
+                member_slots, member_callbacks = _capture_lists(member)
+                slots.extend(member_slots)
+                callbacks.extend(member_callbacks)
+            cached = _FACTORIES.get(key)
+            if cached is None:
+                digest = _body_digest(key)
+                make, body_bytes = self._build_factory(
+                    lambda: self._generate_region(members, slots, callbacks),
+                    "<region@0x%x>" % members[0].entry,
+                    digest,
+                )
+                if len(_FACTORIES) >= _FACTORIES_CAP:
+                    _FACTORIES.clear()
+                _FACTORIES[key] = (make, digest, body_bytes)
+            else:
+                make, digest, body_bytes = cached
+                self.code_memo_hits += 1
+                store = self.body_store
+                if store is not None and digest not in store.entries:
+                    store.record_bytes(digest, body_bytes)
+            body = make(self._context, slots, callbacks, members)
+        except CompileError:
+            return None
+        self.regions_compiled += 1
+        return body
+
+    def _build_factory(self, source_fn, filename: str, digest: str):
         """Produce ``(make, marshal_bytes)`` for a factory-memo miss.
 
         Tries the attached sidecar first — a hit ``exec``\\ s the revived
         code object, skipping source generation and host ``compile()``;
-        a miss (or no store) compiles from generated source and records
+        a miss (or no store) compiles from ``source_fn()`` and records
         the result into the store for the next process.
         """
         store = self.body_store
@@ -398,8 +500,8 @@ class TraceCompiler:
                 else:
                     self.sidecar_hits += 1
                     return make, store.entries[digest]
-        source = self._generate(translated, slots, callbacks)
-        code = compile(source, "<trace@0x%x>" % translated.entry, "exec")
+        source = source_fn()
+        code = compile(source, filename, "exec")
         self.host_compiles += 1
         namespace = {}
         exec(code, namespace)  # noqa: S102 - self-generated source
@@ -411,6 +513,14 @@ class TraceCompiler:
 
     # -- code generation -------------------------------------------------------
 
+    #: Capture-namespace names the factory preamble may bind (in this
+    #: order); only the ones the generated body actually uses are bound.
+    _CAPTURE_NAMES = (
+        "to_signed", "MachineFault", "read_word", "write_word",
+        "pages", "code_write", "syscall_step", "halt_event", "acx",
+        "record_call", "cache", "cache_lookup", "ics", "links", "budget",
+    )
+
     def _generate(self, translated: TranslatedTrace, slots, callbacks) -> str:
         """Produce the factory source for one trace.
 
@@ -420,6 +530,107 @@ class TraceCompiler:
         :func:`_capture_lists` order, so a memoized factory re-binds
         correctly) into fast locals and returns the trace closure.
         Everything trace-constant is baked into the source as literals.
+        """
+        slot_names = {id(slot): "slot%d" % i for i, slot in enumerate(slots)}
+        # The body is generated first so the factory preamble can bind
+        # only the captures this trace actually references: per-run
+        # re-binding of memoized factories is on the warm path, and most
+        # traces touch a small subset of the capture namespace.
+        uses: set = set()
+        emit = _Emitter()
+        self._emit_trace_body(emit, uses, translated, slot_names, 0)
+        return self._factory_source(
+            emit, uses, len(slots), len(callbacks), region_members=0
+        )
+
+    def _generate_region(
+        self, members: List[TranslatedTrace], slots, callbacks
+    ) -> str:
+        """Produce the factory source for one superblock region.
+
+        The source defines ``_make(C, slots, callbacks, members)``:
+        ``slots``/``callbacks`` concatenate the members' capture lists in
+        chain order, ``members`` are the member trace objects the
+        junction guards compare by identity.  The body is the members'
+        solo bodies concatenated; every junction emits the departing
+        member's exact exit accounting, then a link-identity + budget
+        guard that either falls through into the next member's body or
+        side-exits through the member's own final slot.
+        """
+        slot_names = {id(slot): "slot%d" % i for i, slot in enumerate(slots)}
+        uses: set = {"links"}
+        emit = _Emitter()
+        emit.emit("links.region_entries += 1")
+        cb_base = 0
+        for position, member in enumerate(members):
+            junction = None
+            if position + 1 < len(members):
+                junction = self._make_junction(
+                    emit, uses, member, members[position + 1],
+                    position + 1, slot_names,
+                )
+            cb_base = self._emit_trace_body(
+                emit, uses, member, slot_names, cb_base, junction=junction
+            )
+        return self._factory_source(
+            emit, uses, len(slots), len(callbacks),
+            region_members=len(members),
+        )
+
+    def _make_junction(self, emit, uses, member, nxt, nxt_pos, slot_names):
+        """Build the emit-callback for one intra-region junction.
+
+        The guard is self-healing by construction: eviction/SMC/flush
+        eagerly unlink every incoming slot, so ``linked_resident is not
+        <next member>`` catches a dead or replaced successor the moment
+        control reaches the junction — even for regions already on the
+        call stack — and the side exit re-enters the normal (slot,
+        resident) protocol.  The budget re-check makes a fused chain
+        fault at exactly the boundary the dispatcher would have.
+        """
+        final = member.final_slot
+        if final is None or not final.is_linkable:
+            raise CompileError(
+                "region member 0x%x has no linkable final exit"
+                % member.entry
+            )
+        final_name = slot_names[id(final)]
+        next_name = "m%d" % nxt_pos
+        next_entry = nxt.entry
+
+        def junction(target_pc: int, emit_accounting) -> None:
+            if target_pc != next_entry:
+                raise CompileError(
+                    "junction target 0x%x does not reach member 0x%x"
+                    % (target_pc, next_entry)
+                )
+            emit_accounting()
+            uses.update(("links", "budget"))
+            emit.emit(
+                "if %s.linked_resident is not %s"
+                " or stats.instructions_executed >= budget:"
+                % (final_name, next_name)
+            )
+            emit.emit(
+                "return (%d, %s, None, %s.linked_resident)"
+                % (target_pc, final_name, final_name), 3
+            )
+            emit.emit("%s.executions += 1" % next_name)
+            emit.emit("links.region_hops += 1")
+
+        return junction
+
+    def _emit_trace_body(
+        self, emit, uses, translated, slot_names, cb_base, junction=None
+    ) -> int:
+        """Emit one trace's inlined instruction semantics at depth 2.
+
+        Shared by solo-trace and region generation: ``slot_names`` maps
+        link-slot identity to bound local names, analysis callbacks are
+        named ``cb<k>`` counting from ``cb_base``.  ``junction`` (region
+        non-last members only) replaces the final linkable exit's return
+        with an inline guard + fall-through into the next member's body.
+        Returns the callback index after this trace.
         """
         trace = translated.trace
         uops = trace.uops
@@ -431,15 +642,6 @@ class TraceCompiler:
         ti = cost.translated_inst
         points_by_index = translated.points_by_index
 
-        slot_names = {id(slot): "slot%d" % i for i, slot in enumerate(slots)}
-
-        # The body is generated first so the factory preamble can bind
-        # only the captures this trace actually references: per-run
-        # re-binding of memoized factories is on the warm path, and most
-        # traces touch a small subset of the capture namespace.
-        uses: set = set()
-        emit = _Emitter()
-
         def exit_accounting(steps: int, depth: int = 2) -> None:
             # Inlined stats.charge_exec — same fields, same order, same
             # pre-folded float literal, so the accumulation is
@@ -450,9 +652,29 @@ class TraceCompiler:
             emit.emit("stats._total += %s" % lit, depth)
 
         final = translated.final_slot
-        final_name = slot_names[id(final)] if final is not None else "None"
+        final_name = slot_names[id(final)] if final is not None else None
 
-        cb_index = 0
+        def final_exit(target_pc: int, steps: int, index: int) -> None:
+            # The final direct exit (terminator or fall-through): probe
+            # the link seam so a patched exit hands the successor trace
+            # straight to the engine's chain trampoline.
+            if junction is not None:
+                if index != n - 1:
+                    raise CompileError(
+                        "junction exit is not the trace terminator"
+                    )
+                junction(target_pc, lambda: exit_accounting(steps))
+            elif final_name is None:
+                exit_accounting(steps)
+                emit.emit("return (%d, None, None, None)" % target_pc)
+            else:
+                exit_accounting(steps)
+                emit.emit(
+                    "return (%d, %s, None, %s.linked_resident)"
+                    % (target_pc, final_name, final_name)
+                )
+
+        cb_index = cb_base
         for index in range(n):
             uop = uops[index]
             op, rd, rs1, rs2, imm = uop
@@ -529,17 +751,16 @@ class TraceCompiler:
                     )
                     exit_accounting(index + 1, 3)
                     emit.emit(
-                        "return (%d, %s, None, None)" % (taken, slot_name), 3
+                        "return (%d, %s, None, %s.linked_resident)"
+                        % (taken, slot_name, slot_name), 3
                     )
                 # A zero-offset taken branch lands on the fall-through
                 # address: indistinguishable from not-taken, stays inline.
             elif op == _JMP:
-                exit_accounting(index + 1)
-                emit.emit("return (%d, %s, None, None)" % (imm, final_name))
+                final_exit(imm, index + 1, index)
             elif op == _CALL:
                 emit.emit("r[%d] = %d" % (regs.LR, pc + INSTRUCTION_SIZE))
-                exit_accounting(index + 1)
-                emit.emit("return (%d, %s, None, None)" % (imm, final_name))
+                final_exit(imm, index + 1, index)
             elif op in (_JR, _RET, _CALLR):
                 source_reg = regs.LR if op == _RET else rs1
                 emit.emit("target = r[%d]" % source_reg)
@@ -568,34 +789,40 @@ class TraceCompiler:
         last_op = uops[-1][0]
         if last_op < _JMP:
             # Instruction-limit fall-through exit.
-            exit_accounting(n)
-            emit.emit(
-                "return (%d, %s, None, None)"
-                % (entry + n * INSTRUCTION_SIZE, final_name)
-            )
+            final_exit(entry + n * INSTRUCTION_SIZE, n, n - 1)
+        return cb_index
 
+    def _factory_source(
+        self, emit, uses, n_slots: int, n_callbacks: int, region_members: int
+    ) -> str:
+        """Wrap emitted body lines in the factory preamble."""
         out = _Emitter()
-        out.lines.append("def _make(C, slots, callbacks):")
+        if region_members:
+            out.lines.append("def _make(C, slots, callbacks, members):")
+        else:
+            out.lines.append("def _make(C, slots, callbacks):")
         out.emit("machine = C.machine", 1)
         out.emit("stats = C.stats", 1)
-        for name in (
-            "to_signed", "MachineFault", "read_word", "write_word",
-            "pages", "code_write", "syscall_step", "halt_event", "acx",
-            "record_call", "cache", "cache_lookup", "ics",
-        ):
+        for name in self._CAPTURE_NAMES:
             if name in uses:
                 out.emit("%s = C.%s" % (name, name), 1)
         if "ic" in uses:
             # The polymorphic indirect inline cache: [generation seen at
-            # last use, MRU-first chain of (target, resident) pairs].
-            # One cell per closure (a trace has at most one indirect
-            # exit), fresh per factory binding so a run never inherits
+            # last use, MRU-first chain of (target, resident) pairs,
+            # overflow table of every (target -> resident) the site has
+            # resolved].  One cell per closure (a trace has at most one
+            # indirect exit, and only a region's last member can own
+            # one), fresh per factory binding so a run never inherits
             # another run's residents.
-            out.emit("ic = [-1, []]", 1)
-        for i in range(len(slots)):
+            out.emit("ic = [-1, [], {}]", 1)
+        for i in range(n_slots):
             out.emit("slot%d = slots[%d]" % (i, i), 1)
-        for i in range(len(callbacks)):
+        for i in range(n_callbacks):
             out.emit("cb%d = callbacks[%d]" % (i, i), 1)
+        # Junction guards compare successors by identity; the head
+        # (members[0]) is entered by the caller and never referenced.
+        for i in range(1, region_members):
+            out.emit("m%d = members[%d]" % (i, i), 1)
         out.emit("def run():", 1)
         out.emit("r = machine.registers")
         out.lines.extend(emit.lines)
@@ -603,7 +830,7 @@ class TraceCompiler:
         return out.source()
 
     def _emit_indirect_exit(
-        self, emit: _Emitter, uses: set, translated, final_name: str
+        self, emit: _Emitter, uses: set, translated, final_name
     ) -> None:
         """Terminator through the indirect-target resolver.
 
@@ -623,6 +850,16 @@ class TraceCompiler:
         advance discards the whole chain — an evicted trace can never
         be dispatched; a miss resolves through the translation map and
         refills the front, truncating the chain to its depth bound.
+
+        Behind the chain sits the **megamorphic overflow tier**: a
+        per-site hash table remembering every ``(target -> resident)``
+        the site has resolved, filled at each miss and validated by the
+        same generation word as the chain.  A target that cycled out of
+        the bounded chain (e.g. an 8-way dispatch-table rotation over a
+        depth-4 chain) dispatches from the table without a
+        translation-map lookup and *without reordering the chain* — the
+        MRU entries stay reserved for the truly-hot targets.
+
         Cycle charges and ``indirect_resolutions`` are identical on
         every path — all model the same resolver work — so the
         interpreted oracle stays bit-identical; only the host-side
@@ -651,9 +888,14 @@ class TraceCompiler:
             emit.emit("ics.promotions += 1", 5)
             emit.emit("ics.depth_hits[i] += 1", 5)
             emit.emit("return (target, None, None, p[1])", 5)
+            emit.emit("p = ic[2].get(target)", 3)
+            emit.emit("if p is not None:", 3)
+            emit.emit("ics.overflow_hits += 1", 4)
+            emit.emit("return (target, None, None, p)", 4)
             emit.emit("else:")
-            emit.emit("if e:", 3)
+            emit.emit("if e or ic[2]:", 3)
             emit.emit("del e[:]", 4)
+            emit.emit("ic[2].clear()", 4)
             emit.emit("ics.resets += 1", 4)
             emit.emit("ic[0] = g", 3)
             emit.emit("ics.misses += 1")
@@ -662,7 +904,13 @@ class TraceCompiler:
             emit.emit("e.insert(0, (target, hit))", 3)
             emit.emit("if len(e) > %d:" % IC_CHAIN_DEPTH, 3)
             emit.emit("del e[%d:]" % IC_CHAIN_DEPTH, 4)
+            emit.emit("ic[2][target] = hit", 3)
             emit.emit("ics.fills += 1", 3)
             emit.emit("return (target, None, None, hit)")
+        elif final_name is None:
+            emit.emit("return (target, None, None, None)")
         else:
-            emit.emit("return (target, %s, None, None)" % final_name)
+            emit.emit(
+                "return (target, %s, None, %s.linked_resident)"
+                % (final_name, final_name)
+            )

@@ -41,8 +41,13 @@ from repro.vm.codecache import (
     DEFAULT_CODE_POOL_BYTES,
     DEFAULT_DATA_POOL_BYTES,
 )
-from repro.vm.compile import TraceCompiler, UNCOMPILABLE
-from repro.vm.stats import ICStats, VMStats
+from repro.vm.compile import (
+    REGION_FUSE_THRESHOLD,
+    REGION_MAX_MEMBERS,
+    TraceCompiler,
+    UNCOMPILABLE,
+)
+from repro.vm.stats import ICStats, LinkStats, VMStats
 from repro.vm.trace import ExitKind, TraceSelector
 from repro.vm.translator import TranslatedTrace, Translator
 from repro.isa.opcodes import Opcode
@@ -60,7 +65,7 @@ _MEMORY_OPS = (int(Opcode.LD), int(Opcode.ST))
 #: to translation *or* to the compiled tier's closure codegen — the
 #: compiled-body sidecar (repro.persist.sidecar) revives host code
 #: objects keyed on this stamp, so stale codegen must miss wholesale.
-VM_VERSION = "repro-dbi-1.2.0"
+VM_VERSION = "repro-dbi-1.3.0"
 
 
 class EngineError(Exception):
@@ -94,6 +99,14 @@ class VMConfig:
     #: VMStats to the bit (see docs/performance.md); interpreted is the
     #: reference oracle, compiled the fast default.
     dispatch_mode: str = "compiled"
+    #: Chain compiled closures directly: a patched or IC-predicted exit
+    #: hands the successor's closure to the engine's trampoline instead
+    #: of re-entering the dispatcher, and stable hot chains fuse into
+    #: superblock region closures (repro.vm.compile).  Host-side only —
+    #: simulated ``VMStats`` are bit-identical either way; disabling
+    #: reverts to the one-closure-call-per-dispatch behavior (the bench
+    #: baseline for the trace_linking family).
+    trace_linking: bool = True
 
 
 @dataclass
@@ -113,6 +126,10 @@ class VMRunResult:
     #: (all-zero under interpreted dispatch).  Host-side only — kept
     #: outside :class:`VMStats` so the tiers' stats stay bit-identical.
     ic_stats: ICStats = field(default_factory=ICStats)
+    #: Cross-trace linking / superblock-region accounting from the
+    #: compiled tier (all-zero under interpreted dispatch or with
+    #: ``trace_linking`` off).  Host-side only, like ``ic_stats``.
+    link_stats: LinkStats = field(default_factory=LinkStats)
 
     @property
     def total_cycles(self) -> float:
@@ -197,11 +214,13 @@ class Engine:
             address=0, trace_entry=0, index=0, machine=machine
         )
         ic_stats = ICStats()
+        link_stats = LinkStats()
         self._compiler = (
             TraceCompiler(
                 machine, stats, accounting, self.cost_model,
                 self._analysis_context, code_cache=cache,
-                ic_stats=ic_stats,
+                ic_stats=ic_stats, link_stats=link_stats,
+                max_instructions=self.config.max_instructions,
             )
             if dispatch_mode == "compiled"
             else None
@@ -313,6 +332,10 @@ class Engine:
 
         self.tool.on_exit(machine, exit_status)
 
+        # Mirror cache-level region teardown (evict/SMC/flush) into the
+        # run's link accounting: the cache has no LinkStats reference.
+        link_stats.region_invalidations = cache.stats.region_invalidations
+
         persistence_report: Dict[str, object] = {}
         if self.persistence is not None:
             self._persist_hook("on_exit", stats, machine, cache, stats)
@@ -329,6 +352,7 @@ class Engine:
             cache_data_bytes=cache.data_used,
             persistence_report=persistence_report,
             ic_stats=ic_stats,
+            link_stats=link_stats,
         )
         if self.persistence is not None and hasattr(
             self.persistence, "on_result"
@@ -426,19 +450,80 @@ class Engine:
             if body is None:
                 body = compiler.compile(translated)
             if body is not UNCOMPILABLE:
-                next_pc, slot, event, resident = body()
-                if event is not None:
-                    return self._handle_syscall_exit(
-                        event, next_pc, machine, stats, exit_status
-                    )
+                if not self.config.trace_linking:
+                    # PR-5 behavior: one closure call per dispatch.
+                    next_pc, slot, event, resident = body()
+                    if event is not None:
+                        return self._handle_syscall_exit(
+                            event, next_pc, machine, stats, exit_status
+                        )
+                    if slot is not None:
+                        return self._leave_via_slot(
+                            slot, next_pc, cache, stats, exit_status
+                        )
+                    return next_pc, exit_status, resident
+                # The chain trampoline: while the exit hands back an
+                # already-resident successor (patched direct link or IC
+                # prediction), call its closure immediately — control
+                # never re-enters the dispatch loop.  Simulated charges
+                # are untouched: a linked exit was already free, and the
+                # demand-load/execution bookkeeping below mirrors this
+                # method's own preamble exactly.
+                links = compiler.link_stats
+                budget = self.config.max_instructions
+                cur = translated
+                while True:
+                    next_pc, slot, event, resident = body()
+                    if event is not None:
+                        return self._handle_syscall_exit(
+                            event, next_pc, machine, stats, exit_status
+                        )
+                    if resident is None:
+                        break
+                    if stats.instructions_executed >= budget:
+                        # Hand the resident back: the dispatch loop's
+                        # budget check raises at exactly the pc the
+                        # interpreted tier would have faulted at.
+                        return next_pc, exit_status, resident
+                    next_body = resident.compiled_body
+                    if next_body is None:
+                        next_body = compiler.compile(resident)
+                    if next_body is UNCOMPILABLE:
+                        links.link_bounces += 1
+                        return next_pc, exit_status, resident
+                    if resident.from_persistent and not resident.demand_loaded:
+                        stats.charge_persistence(
+                            cost.pcache_trace_load + cost.pcache_meta_load
+                        )
+                        resident.demand_loaded = True
+                    resident.executions += 1
+                    if slot is not None:
+                        links.link_direct_hops += 1
+                        hops = slot.hop_count + 1
+                        slot.hop_count = hops
+                        if (
+                            hops % REGION_FUSE_THRESHOLD == 0
+                            # Only a final-exit hop can head or extend a
+                            # chain; branch-taken side exits would walk
+                            # nothing, so skip the call outright unless
+                            # ``cur`` heads a region (the extension
+                            # seam) — the driver re-checks precisely.
+                            and (
+                                slot is cur.final_slot
+                                or cache.region_of(cur.entry) == cur.entry
+                            )
+                        ):
+                            self._maybe_fuse(cur, slot, cache, compiler)
+                    else:
+                        links.link_ic_hops += 1
+                    cur = resident
+                    body = next_body
+                # Unlinked/unresolved exit: back to the dispatch protocol.
                 if slot is not None:
                     return self._leave_via_slot(
                         slot, next_pc, cache, stats, exit_status
                     )
-                # ``resident`` is the indirect inline cache's prediction:
-                # the already-resident next trace, handed straight back to
-                # the dispatcher (no translation-map consultation).
-                return next_pc, exit_status, resident
+                return next_pc, exit_status, None
             # Uncompilable trace: fall through to the interpreted oracle.
 
         trace = translated.trace
@@ -522,6 +607,87 @@ class Engine:
                 return self._leave_via_slot(
                     final, next_pc, cache, stats, exit_status
                 )
+
+    def _maybe_fuse(self, cur, slot, cache, compiler) -> None:
+        """Try to fuse the stable hot chain through ``slot`` into a
+        superblock region.
+
+        Called by the trampoline whenever a link's hop count crosses a
+        multiple of :data:`~repro.vm.compile.REGION_FUSE_THRESHOLD`.
+        ``cur`` is the trace whose closure just exited; the chain head is
+        ``cur`` itself — either the hop went through ``cur``'s own final
+        exit, or ``cur`` heads a region whose last member's final exit
+        took the hop (the extension case: the region re-fuses with the
+        proven-hot tail appended).  The walk follows final-exit links
+        that are patched, consistent (``linked_entry`` == static target
+        == successor entry) and hot, stopping at cycles, other regions'
+        members, not-yet-demand-loaded persistent traces and
+        uncompilable successors.  Failure is cheap and retried: counters
+        keep climbing, so the next threshold crossing tries again.
+        """
+        links = compiler.link_stats
+        if slot is not cur.final_slot:
+            members = cache.region_members(cur.entry)
+            if not members:
+                return  # a branch-taken side exit never heads a chain
+            last = cache.lookup(members[-1])
+            if last is None or slot is not last.final_slot:
+                return
+        start = cur
+        own_head = cache.region_of(start.entry)
+        if own_head is not None and own_head != start.entry:
+            # ``cur`` is a middle member of another region; fusing from
+            # here would nest regions.
+            return
+        chain = [start]
+        seen = {start.entry}
+        node = start
+        while len(chain) < REGION_MAX_MEMBERS:
+            link = node.final_slot
+            if link is None or not link.is_linkable:
+                break
+            nxt = link.linked_resident
+            if (
+                nxt is None
+                or link.linked_entry != link.exit.target
+                or nxt.entry != link.exit.target
+                or nxt.entry in seen
+            ):
+                break
+            if link.hop_count < REGION_FUSE_THRESHOLD - 1:
+                break  # not yet proven hot (region-internal links froze
+                # at threshold, so extension walks pass through them)
+            next_head = cache.region_of(nxt.entry)
+            if next_head is not None and next_head != start.entry:
+                break  # belongs to a different region
+            if nxt.from_persistent and not nxt.demand_loaded:
+                break  # keep demand-load charges out of fused bodies
+            next_body = nxt.compiled_body
+            if next_body is None:
+                next_body = compiler.compile(nxt)
+            if next_body is UNCOMPILABLE:
+                break
+            chain.append(nxt)
+            seen.add(nxt.entry)
+            node = nxt
+        if len(chain) < 2:
+            links.fusion_aborts += 1
+            return
+        entries = [member.entry for member in chain]
+        if tuple(entries) == cache.region_members(start.entry):
+            return  # already fused to exactly this chain
+        region_body = compiler.compile_region(chain)
+        if region_body is None:
+            links.fusion_aborts += 1
+            return
+        # Supersede any existing region at this head, then install: the
+        # fused closure is the head's body, so every patched link and
+        # translation-map hit into the head enters the region; middle
+        # members keep their solo closures for middle entry.
+        cache.invalidate_region_containing(start.entry)
+        start.compiled_body = region_body
+        cache.register_region(entries)
+        links.regions_fused += 1
 
     def _handle_syscall_exit(
         self,

@@ -55,6 +55,10 @@ class ICStats:
     #: Non-empty chains discarded because ``cache.generation`` advanced
     #: (SMC eviction, module unload, cache flush).
     resets: int = 0
+    #: Hits served by the megamorphic hash-table tier behind the chain
+    #: (targets the bounded MRU chain cycled out; see
+    #: :meth:`repro.vm.compile.TraceCompiler._emit_indirect_exit`).
+    overflow_hits: int = 0
     #: Hits by chain position (index 0 = the predicted/MRU entry).
     depth_hits: List[int] = field(
         default_factory=lambda: [0] * IC_CHAIN_DEPTH
@@ -63,13 +67,14 @@ class ICStats:
     @property
     def lookups(self) -> int:
         """Indirect exits taken through compiled closures."""
-        return self.hits + self.misses
+        return self.hits + self.overflow_hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of indirect exits served from a chain."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of indirect exits served from a chain or the
+        overflow table (no translation-map resolution needed)."""
+        total = self.lookups
+        return (self.hits + self.overflow_hits) / total if total else 0.0
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready snapshot (bench tables, session reports)."""
@@ -79,8 +84,67 @@ class ICStats:
             "fills": self.fills,
             "promotions": self.promotions,
             "resets": self.resets,
+            "overflow_hits": self.overflow_hits,
             "depth_hits": list(self.depth_hits),
             "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class LinkStats:
+    """Host-side counters for the compiled tier's cross-trace linking
+    (the chain trampoline and superblock regions in
+    :mod:`repro.vm.engine` / :mod:`repro.vm.compile`).
+
+    Like :class:`ICStats`, deliberately **not** part of
+    :class:`VMStats`: linked exits were already free in simulated
+    cycles under both tiers (the ``linked_resident`` seam), so the
+    trampoline and regions are pure host wall-clock machinery.  Any
+    counter here would differ between the tiers and break the
+    bit-identical ``VMStats`` contract; the accounting travels beside
+    the run result (:attr:`repro.vm.engine.VMRunResult.link_stats`).
+    """
+
+    #: Trampoline hops through a patched direct-exit slot: control went
+    #: closure -> closure without returning to the dispatch loop.
+    link_direct_hops: int = 0
+    #: Trampoline hops through an indirect-exit inline-cache prediction.
+    link_ic_hops: int = 0
+    #: Linked exits (slot patched or IC-resolved resident) that still
+    #: fell back to the dispatch loop: successor uncompilable, or the
+    #: instruction budget intervened.  Zero on the stable-chain corpus.
+    link_bounces: int = 0
+    #: Superblock regions fused from stable hot chains this run.
+    regions_fused: int = 0
+    #: Entries into a region closure (one per execution of the head).
+    region_entries: int = 0
+    #: Intra-region junction transitions (exits that never produced a
+    #: host-level trace-to-trace transfer at all).
+    region_hops: int = 0
+    #: Regions dropped because a member left the code cache
+    #: (SMC eviction, module unload, cache flush).
+    region_invalidations: int = 0
+    #: Fusion attempts abandoned (chain too short, member uncompilable,
+    #: overlap with an existing region, unstable links).
+    fusion_aborts: int = 0
+
+    @property
+    def chained_exits(self) -> int:
+        """Trace exits that stayed in the code cache host-side."""
+        return self.link_direct_hops + self.link_ic_hops + self.region_hops
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (bench tables, session reports)."""
+        return {
+            "link_direct_hops": self.link_direct_hops,
+            "link_ic_hops": self.link_ic_hops,
+            "link_bounces": self.link_bounces,
+            "regions_fused": self.regions_fused,
+            "region_entries": self.region_entries,
+            "region_hops": self.region_hops,
+            "region_invalidations": self.region_invalidations,
+            "fusion_aborts": self.fusion_aborts,
+            "chained_exits": self.chained_exits,
         }
 
 

@@ -68,11 +68,19 @@ class LinkSlot:
     linked_resident: Optional["TranslatedTrace"] = field(
         default=None, repr=False, compare=False
     )
+    #: Chain-hotness profile: trampoline hops taken through this slot
+    #: while patched (repro.vm.engine).  Host-side only — feeds the
+    #: superblock-fusion threshold, never simulated accounting.  Reset
+    #: on unlink (a re-formed link must re-prove stability); abandoned
+    #: fusion attempts keep the count, so the next threshold multiple
+    #: retries for free.
+    hop_count: int = field(default=0, compare=False)
 
     def unlink(self) -> None:
         """Drop the patch: the exit trampolines into the VM again."""
         self.linked_entry = None
         self.linked_resident = None
+        self.hop_count = 0
 
     @property
     def is_linked(self) -> bool:

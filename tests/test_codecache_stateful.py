@@ -6,7 +6,12 @@ the cache's structural invariants:
 * occupancy equals the sum of resident trace sizes, never exceeds capacity;
 * every linked exit points at a *resident* trace entry;
 * the translation map answers exactly the resident entries;
-* eviction unlinks every incoming pointer to the victim.
+* eviction unlinks every incoming pointer to the victim;
+* superblock regions die as a unit with any member (evict, evict_range
+  or flush), the reverse member index never outlives them, and a dead
+  region's head loses its fused closure;
+* an unlinked slot has no residual hop profile (stale hotness from a
+  dead link must never feed the fusion threshold).
 """
 
 import hypothesis.strategies as st
@@ -29,6 +34,13 @@ class CodeCacheMachine(RuleBasedStateMachine):
         super().__init__()
         self.cache = CodeCache(code_capacity=4096, data_capacity=16384)
         self.resident = {}
+        #: Mirror of the cache's region table: head -> member tuple.
+        self.regions = {}
+
+    def _drop_regions_for(self, entry):
+        for head, members in list(self.regions.items()):
+            if entry in members:
+                del self.regions[head]
 
     @rule(
         entry=st.sampled_from(_ENTRIES),
@@ -51,6 +63,7 @@ class CodeCacheMachine(RuleBasedStateMachine):
         entry = data.draw(st.sampled_from(sorted(self.resident)))
         self.cache.evict(entry)
         del self.resident[entry]
+        self._drop_regions_for(entry)
 
     @rule(
         start=st.sampled_from(_ENTRIES),
@@ -60,11 +73,39 @@ class CodeCacheMachine(RuleBasedStateMachine):
         evicted = self.cache.evict_range(start, start + span)
         for translated in evicted:
             del self.resident[translated.entry]
+            self._drop_regions_for(translated.entry)
 
     @rule()
     def flush(self):
         self.cache.flush()
         self.resident.clear()
+        self.regions.clear()
+
+    @precondition(lambda self: len(self.resident) >= 2)
+    @rule(data=st.data(), size=st.integers(2, 4))
+    def fuse_region(self, data, size):
+        """Register a region over region-free residents, installing a
+        marker fused body on the head (as the fusion driver does)."""
+        free = sorted(
+            entry for entry in self.resident
+            if self.cache.region_of(entry) is None
+        )
+        if len(free) < 2:
+            return
+        members = tuple(data.draw(st.permutations(free))[: min(size, len(free))])
+        head = members[0]
+        self.resident[head].compiled_body = ("region", members)
+        self.cache.register_region(list(members))
+        self.regions[head] = members
+
+    @precondition(lambda self: self.resident)
+    @rule(data=st.data(), hops=st.integers(1, 40))
+    def take_hops(self, data, hops):
+        """Profile a patched slot, as the chain trampoline would."""
+        entry = data.draw(st.sampled_from(sorted(self.resident)))
+        for slot in self.resident[entry].links:
+            if slot.is_linked:
+                slot.hop_count += hops
 
     # -- invariants -----------------------------------------------------------
 
@@ -100,6 +141,42 @@ class CodeCacheMachine(RuleBasedStateMachine):
             for slot in translated.links:
                 if slot.is_linkable and slot.exit.target in self.resident:
                     assert slot.is_linked
+
+    @invariant()
+    def unlinked_slots_carry_no_hop_profile(self):
+        """Unlink resets the hotness profile: a re-formed link must
+        re-prove chain stability before it can fuse."""
+        for translated in self.resident.values():
+            for slot in translated.links:
+                if not slot.is_linked:
+                    assert slot.hop_count == 0
+
+    @invariant()
+    def regions_die_with_any_member(self):
+        """The cache's region table matches the mirror (which drops a
+        region the moment any member is evicted or flushed), members of
+        live regions are resident, and the reverse index is exact."""
+        assert self.cache.regions() == self.regions
+        for head, members in self.regions.items():
+            assert head == members[0]
+            for member in members:
+                assert member in self.resident
+                assert self.cache.region_of(member) == head
+        for entry in self.resident:
+            head = self.cache.region_of(entry)
+            if head is not None:
+                assert entry in self.regions[head]
+
+    @invariant()
+    def dead_region_heads_lose_their_fused_body(self):
+        """A region's fused closure never outlives the region: once any
+        member leaves the cache, a still-resident head must have had
+        ``invalidate_compiled`` called on it."""
+        for entry, translated in self.resident.items():
+            body = translated.compiled_body
+            if isinstance(body, tuple) and body and body[0] == "region":
+                assert entry in self.regions, entry
+                assert body[1] == self.regions[entry]
 
 
 TestCodeCacheStateful = CodeCacheMachine.TestCase

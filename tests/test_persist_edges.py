@@ -46,6 +46,10 @@ class TestSessionLifecycle:
             "shared_publishes", "shared_gc_evictions",
             "shared_touch_refreshes",
             "ic_hits", "ic_misses", "ic_resets", "ic_depth_hits",
+            "ic_overflow_hits",
+            "link_direct_hops", "link_ic_hops", "link_bounces",
+            "regions_fused", "region_entries", "region_hops",
+            "region_invalidations", "fusion_aborts",
             "record_state", "record_events", "record_log",
             "replay_state", "replay_events",
         }
