@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Persistent-cache database directory for `make fsck` (override: make fsck DB=...)
 DB ?= /tmp/pcc-db
 
-.PHONY: test faultinject benchmarks bench-wallclock fsck stress gc replay-smoke
+.PHONY: test faultinject benchmarks bench-wallclock fsck stress gc replay-smoke prewarm-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -47,6 +47,21 @@ replay-smoke:
 	$(PYTHON) -m repro.cli run nondet clockwork short --record --pcache $(RDB)
 	$(PYTHON) -m repro.cli run nondet relay long --record --pcache $(RDB) --layout-seed 7
 	$(PYTHON) -m repro.cli replay $(RDB) --diff
+
+# Prewarm database/store directories (override: make prewarm-smoke PWDB=... PWSTORE=...)
+PWDB ?= /tmp/pcc-prewarm-db
+PWSTORE ?= /tmp/pcc-prewarm-store
+
+# Parallel-prewarm smoke (docs/performance.md): mass-compile the tiny
+# startup corpus across two worker processes into a fresh database +
+# shared store, then re-prewarm with --verify — the second pass must
+# perform zero host compiles or the target fails.
+prewarm-smoke:
+	rm -rf $(PWDB) $(PWSTORE)
+	$(PYTHON) -m repro.cli prewarm --pcache $(PWDB) --jobs 2 \
+		--corpus tiny --shared-store $(PWSTORE)
+	$(PYTHON) -m repro.cli prewarm --pcache $(PWDB) --jobs 2 \
+		--corpus tiny --shared-store $(PWSTORE) --verify
 
 # Shared per-host body store directory for `make gc` (override: make gc STORE=...)
 STORE ?= /tmp/pcc-shared-store

@@ -476,10 +476,38 @@ def cmd_bench(args) -> int:
             out_path=out_path,
         )
 
+    def ttfo_cell(family, baseline, contender):
+        """Per-family time-to-first-output column: baseline/contender."""
+        base = family.get("%s_ttfo_s" % baseline)
+        cont = family.get("%s_ttfo_s" % contender)
+        if base is None or cont is None:
+            return "-"
+        return "%.3f/%.3f" % (base, cont)
+
     tier_rows, sidecar_rows, shared_rows, record_rows = [], [], [], []
-    link_rows = []
+    link_rows, warmup_rows = [], []
     for name, family in sorted(results["workloads"].items()):
-        if "nolink_s" in family:
+        if "sync_s" in family:
+            # The tiered-warmup family's headline is TTFO, not sweep
+            # time: background compilation drains its queue before a
+            # run returns, so total wall clock is a wash by design.
+            warmup_rows.append(
+                {
+                    "workload": name,
+                    "sync_ttfo_s": "%.3f" % family["sync_ttfo_s"],
+                    "bg_ttfo_s": "%.3f" % family["background_ttfo_s"],
+                    "ttfo_ratio": "%.2f" % family["ttfo_ratio_x"],
+                    "warm_compiles": "%d" % (
+                        family["prewarm_warm_host_compiles"]
+                    ),
+                    "jobs_mono": str(family["jobs_monotonic_ok"]),
+                    "identical": str(
+                        family["identical_results"]
+                        and family["oracle_identical"]
+                    ),
+                }
+            )
+        elif "nolink_s" in family:
             # The trace-linking family compares the compiled tier
             # against itself with linking + fusion disabled; the
             # headline number is the trimmed-mean speedup.
@@ -491,6 +519,7 @@ def cmd_bench(args) -> int:
                     "speedup_x": "%.2f" % family["speedup_trimmed_x"],
                     "bounces": "%d" % family["link_bounces"],
                     "regions": "%d" % family["regions_fused"],
+                    "ttfo_s": ttfo_cell(family, "nolink", "linked"),
                     "identical": str(
                         family["identical_results"]
                         and family["oracle_identical"]
@@ -511,6 +540,7 @@ def cmd_bench(args) -> int:
                         family["host_compiles_shared"],
                     ),
                     "shared_hits": "%d" % family["shared_hits_shared"],
+                    "ttfo_s": ttfo_cell(family, "isolated", "shared"),
                     "identical": str(family["identical_results"]),
                 }
             )
@@ -525,6 +555,7 @@ def cmd_bench(args) -> int:
                     "overhead": "%.1f%%" % (
                         100.0 * (family["record_s"] / family["plain_s"] - 1.0)
                     ),
+                    "ttfo_s": ttfo_cell(family, "plain", "record"),
                     "identical": str(family["identical_results"]),
                 }
             )
@@ -539,6 +570,7 @@ def cmd_bench(args) -> int:
                         family["interpreted_spread_pct"],
                         family["compiled_spread_pct"],
                     ),
+                    "ttfo_s": ttfo_cell(family, "interpreted", "compiled"),
                     "identical": str(family["identical_results"]),
                 }
             )
@@ -555,6 +587,7 @@ def cmd_bench(args) -> int:
                         family["host_compiles_cold"],
                         family["host_compiles_warm"],
                     ),
+                    "ttfo_s": ttfo_cell(family, "cold", "warm"),
                     "identical": str(family["identical_results"]),
                 }
             )
@@ -562,7 +595,7 @@ def cmd_bench(args) -> int:
         print(format_table(
             tier_rows,
             columns=["workload", "interpreted_s", "compiled_s", "speedup_x",
-                     "spread", "identical"],
+                     "spread", "ttfo_s", "identical"],
             title="Wall-clock dispatch benchmark (best of %d, %d warmup)"
                   % (args.reps, args.warmup),
         ))
@@ -570,31 +603,60 @@ def cmd_bench(args) -> int:
         print(format_table(
             sidecar_rows,
             columns=["workload", "cold_s", "warm_s", "speedup_x",
-                     "host_compiles", "identical"],
+                     "host_compiles", "ttfo_s", "identical"],
             title="Compiled-body sidecar: cold vs. warm host compile()",
         ))
     if shared_rows:
         print(format_table(
             shared_rows,
             columns=["workload", "isolated_s", "shared_s", "speedup_x",
-                     "host_compiles", "shared_hits", "identical"],
+                     "host_compiles", "shared_hits", "ttfo_s", "identical"],
             title="Shared per-host store: DB-A warms DB-B",
         ))
     if record_rows:
         print(format_table(
             record_rows,
             columns=["workload", "plain_s", "record_s", "overhead",
-                     "identical"],
+                     "ttfo_s", "identical"],
             title="Recording overhead: plain vs. record-enabled runs",
         ))
     if link_rows:
         print(format_table(
             link_rows,
             columns=["workload", "nolink_s", "linked_s", "speedup_x",
-                     "bounces", "regions", "identical"],
+                     "bounces", "regions", "ttfo_s", "identical"],
             title="Trace linking + superblock fusion "
                   "(trimmed-mean speedup)",
         ))
+    if warmup_rows:
+        print(format_table(
+            warmup_rows,
+            columns=["workload", "sync_ttfo_s", "bg_ttfo_s", "ttfo_ratio",
+                     "warm_compiles", "jobs_mono", "identical"],
+            title="Tiered warm-up: background compile queue "
+                  "(time-to-first-output)",
+        ))
+    tw_family = results["workloads"].get("tiered_warmup")
+    if tw_family and tw_family.get("prewarm_jobs_sweep"):
+        queue = tw_family.get("queue") or {}
+        print(
+            "tiered_warmup queue (gate app, cold): enqueued %d  "
+            "off-path %d  interpreted runs %d  full-queue syncs %d  "
+            "backlog high-water %d"
+            % (queue.get("enqueued", 0), queue.get("compiled_offpath", 0),
+               queue.get("interpreted_runs", 0),
+               queue.get("queue_full_syncs", 0),
+               queue.get("backlog_high_water", 0))
+        )
+        print("prewarm cold-sweep wall clock (%d cores):"
+              % tw_family.get("cpu_count", 1))
+        for row in tw_family["prewarm_jobs_sweep"]:
+            print(
+                "  --jobs %d  %.2fs  compiled %d  admitted %d%s"
+                % (row["jobs"], row["wall_s"], row["compiled"],
+                   row["admitted"],
+                   "" if row.get("monotonic_ok", True) else "  (regressed)")
+            )
     tl_family = results["workloads"].get("trace_linking")
     if tl_family and tl_family.get("link_per_corpus"):
         print("trace_linking chain corpora (linked compiled tier):")
@@ -614,8 +676,9 @@ def cmd_bench(args) -> int:
                 "  %-17s hit rate %5.1f%%  hits/overflow/misses %d/%d/%d  "
                 "promotions %d  depth hits %s"
                 % (corpus, 100.0 * ic["hit_rate"], ic["hits"],
-                   ic["overflow_hits"], ic["misses"], ic["promotions"],
-                   ic["depth_hits"])
+                   # .get: merged JSON may predate the megamorphic tier.
+                   ic.get("overflow_hits", 0), ic["misses"],
+                   ic["promotions"], ic["depth_hits"])
             )
     print("results written to %s" % out_path)
 
@@ -726,6 +789,32 @@ def cmd_bench(args) -> int:
         )
         if not link_ok:
             return 1
+    if args.check and "tiered_warmup" in results["workloads"]:
+        family = results["workloads"]["tiered_warmup"]
+        # The tiered warm-up acceptance gate: background compilation
+        # must reach first output in at most 60% of the synchronous
+        # cold TTFO without changing one observable (bit-identical to
+        # sync AND to the interpreted oracle), the prewarm jobs sweep
+        # must scale core-awarely, and a prewarmed store must leave the
+        # warm run nothing to compile.
+        ratio = family.get("ttfo_ratio_x", 1.0)
+        warmup_ok = (
+            family["identical_results"]
+            and family["oracle_identical"]
+            and ratio <= 0.6
+            and family["prewarm_warm_host_compiles"] == 0
+            and family["jobs_monotonic_ok"]
+        )
+        print(
+            "tiered warmup: ttfo ratio %.2f (cap 0.60) warm compiles=%d "
+            "jobs monotonic=%s identical=%s oracle=%s -> %s"
+            % (ratio, family["prewarm_warm_host_compiles"],
+               family["jobs_monotonic_ok"], family["identical_results"],
+               family["oracle_identical"],
+               "PASS" if warmup_ok else "FAIL")
+        )
+        if not warmup_ok:
+            return 1
     if args.check:
         # Noise advisory (never flips the exit code): a family whose
         # per-mode max-over-min spread exceeds the threshold ran on a
@@ -738,6 +827,59 @@ def cmd_bench(args) -> int:
                         "a quieter machine before trusting the speedup"
                         % (name, key, family[key])
                     )
+    return 0
+
+
+def cmd_prewarm(args) -> int:
+    """``repro prewarm``: mass-compile a corpus ahead of first use."""
+    from repro.persist.prewarm import PrewarmError, run_prewarm
+
+    try:
+        report = run_prewarm(
+            args.pcache,
+            jobs=args.jobs,
+            corpus=args.corpus,
+            shared_store_dir=args.shared_store,
+            verify=args.verify,
+        )
+    except PrewarmError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            "prewarmed %d app(s) with %d job(s) in %.2fs"
+            % (report.apps, report.jobs, report.wall_s)
+        )
+        print(
+            "  traces persisted: %d" % report.traces_persisted
+        )
+        print(
+            "  bodies: compiled %d, skipped (already stored) %d"
+            % (report.compiled, report.skipped)
+        )
+        if args.shared_store:
+            print(
+                "  shared store: admitted %d, below cost floor %d"
+                % (report.admitted, report.admission_skipped)
+            )
+        for job in report.job_reports:
+            print(
+                "  job %d: %s  %.2fs  compiled %d"
+                % (job.job, ",".join(job.apps), job.wall_s,
+                   job.host_compiles)
+            )
+    if args.verify:
+        verified = report.verify_host_compiles == 0
+        print(
+            "verify: warm run host compiles = %d -> %s"
+            % (report.verify_host_compiles,
+               "PASS" if verified else "FAIL")
+        )
+        if not verified:
+            return 1
     return 0
 
 
@@ -870,7 +1012,7 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("fig5a_gui", "fig2b_gui", "headline_spec",
                               "sidecar_cold_warm", "shared_store",
                               "indirect_heavy", "record_overhead",
-                              "trace_linking"),
+                              "trace_linking", "tiered_warmup"),
                      help="run only this family (repeatable; default all)")
     sub.add_argument("--out", metavar="PATH",
                      help="result JSON path (default BENCH_wallclock.json "
@@ -881,6 +1023,27 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the --check speedup threshold "
                           "(default: the recorded 1.5x gate)")
     sub.set_defaults(func=cmd_bench)
+
+    sub = subparsers.add_parser(
+        "prewarm",
+        help="mass-compile a workload corpus into caches ahead of use",
+    )
+    sub.add_argument("--pcache", required=True, metavar="DIR",
+                     help="cache database directory to warm")
+    sub.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (default 1)")
+    sub.add_argument("--corpus", choices=("tiny", "warmup", "gui"),
+                     default="warmup",
+                     help="workload corpus to compile (default warmup)")
+    sub.add_argument("--shared-store", metavar="DIR",
+                     help="also publish compiled bodies to this per-host "
+                          "shared store")
+    sub.add_argument("--verify", action="store_true",
+                     help="re-run the corpus warm afterwards; exit "
+                          "non-zero unless the host compiles nothing")
+    sub.add_argument("--json", action="store_true",
+                     help="print the machine-readable report")
+    sub.set_defaults(func=cmd_prewarm)
 
     sub = subparsers.add_parser("disasm", help="disassemble an SBF image")
     sub.add_argument("image")

@@ -162,6 +162,10 @@ class PersistenceReport:
     #: body publish, no trace write) so a consumer that never writes
     #: still keeps its hot working set off the gc cap's eviction list.
     shared_touch_refreshes: int = 0
+    #: Offered bodies the shared store's cost-aware admission skipped:
+    #: their measured compile cost fell below the storage-cost floor
+    #: (REPRO_PUBLISH_MIN_COST_US; zero floor admits everything).
+    shared_admission_skipped: int = 0
     #: Polymorphic indirect-branch inline-cache counters from the
     #: compiled tier (repro.vm.stats.ICStats; host-side only, zeros
     #: under interpreted dispatch).
@@ -183,6 +187,16 @@ class PersistenceReport:
     region_hops: int = 0
     region_invalidations: int = 0
     fusion_aborts: int = 0
+    #: Background compile-queue counters (repro.vm.stats.QueueStats;
+    #: host-side only, zeros under compile_mode="sync" or interpreted
+    #: dispatch).
+    queue_enqueued: int = 0
+    queue_compiled_offpath: int = 0
+    queue_swap_ins: int = 0
+    queue_generation_discards: int = 0
+    queue_full_syncs: int = 0
+    queue_backlog_high_water: int = 0
+    queue_interpreted_runs: int = 0
     #: Record-and-replay lifecycle (repro.replay; the session is
     #: persistence-neutral in either mode, so these are report-only):
     #: recording: "" (off), "recording", "written", "unsaved" (no
@@ -650,6 +664,20 @@ class PersistentCacheSession:
         if store is not None and hasattr(store, "shared_hits"):
             self.report_data.shared_hits = store.shared_hits
             self.report_data.shared_misses = store.shared_misses
+        queue = getattr(engine, "_compile_queue", None)
+        if queue is not None:
+            qs = queue.stats
+            self.report_data.queue_enqueued = qs.enqueued
+            self.report_data.queue_compiled_offpath = qs.compiled_offpath
+            self.report_data.queue_swap_ins = qs.swap_ins
+            self.report_data.queue_generation_discards = (
+                qs.generation_discards
+            )
+            self.report_data.queue_full_syncs = qs.queue_full_syncs
+            self.report_data.queue_backlog_high_water = (
+                qs.backlog_high_water
+            )
+            self.report_data.queue_interpreted_runs = qs.interpreted_runs
 
     def _save_sidecar(self) -> None:
         """Persist newly recorded compiled bodies (report-only failure).
@@ -693,14 +721,22 @@ class PersistentCacheSession:
         touched = chained.touched()
         if not pending and not touched:
             return
+        costs = (
+            chained.pending_costs()
+            if hasattr(chained, "pending_costs")
+            else {}
+        )
         try:
-            result = self._shared_store.publish(pending, touch=touched)
+            result = self._shared_store.publish(
+                pending, touch=touched, costs=costs
+            )
         except STORAGE_FAILURES as exc:
             self.report_data.shared_store_state = "write-error: %s" % exc
             return
         self.report_data.shared_publishes += result.published
         self.report_data.shared_gc_evictions += result.evicted
         self.report_data.shared_touch_refreshes += result.refreshed
+        self.report_data.shared_admission_skipped += result.admission_skipped
         chained.clear_pending()
 
     def _touch_shared(self) -> None:

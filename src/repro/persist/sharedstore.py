@@ -52,8 +52,10 @@ On-disk layout::
 Shard file framing (PCSS1) mirrors the sidecar's PCS1 discipline — a
 fixed preamble, CRC-checked header JSON, per-section CRCs and a
 whole-file trailer CRC — with one extension: each directory record
-carries a last-use stamp (``[digest, offset, size, stamp]``) so the
-LRU/size cap can evict cold bodies first.
+carries a last-use stamp and the measured host-compile cost
+(``[digest, offset, size, stamp, cost_us]``; pre-cost four-element
+records still parse, as cost 0) so the LRU/size cap can evict cold
+bodies first and cost-aware admission can reason about recompute cost.
 
 Garbage collection (:meth:`SharedBodyStore.gc`) is mark-and-sweep:
 
@@ -164,14 +166,20 @@ def is_shared_store(directory: str) -> bool:
 def pack_shard(
     vm_version: str,
     host_tag: str,
-    entries: Dict[str, Tuple[bytes, int]],
+    entries: Dict[str, tuple],
 ) -> bytes:
-    """Serialize one shard: ``{digest: (blob, stamp)}`` → framed bytes."""
+    """Serialize one shard: ``{digest: (blob, stamp[, cost_us])}`` →
+    framed bytes.  Two-tuple values (pre-cost callers/tests) pack with
+    cost 0 — an unmeasured body is treated as free to recompute."""
     pool = bytearray()
     directory = []
     for digest in sorted(entries):
-        blob, stamp = entries[digest]
-        directory.append([digest, len(pool), len(blob), int(stamp)])
+        record = entries[digest]
+        blob, stamp = record[0], record[1]
+        cost_us = int(record[2]) if len(record) > 2 else 0
+        directory.append(
+            [digest, len(pool), len(blob), int(stamp), cost_us]
+        )
         pool.extend(blob)
     directory_blob = json.dumps(directory, sort_keys=True).encode()
     pool_blob = bytes(pool)
@@ -201,7 +209,9 @@ def pack_shard(
 def parse_shard(blob: bytes):
     """Verify and split a shard into ``(vm_version, host_tag, entries)``.
 
-    ``entries`` maps digest → ``(blob, stamp)``.  Raises
+    ``entries`` maps digest → ``(blob, stamp, cost_us)``; four-element
+    directory records (written before compile costs were tracked) parse
+    with cost 0.  Raises
     :class:`SharedStoreError` naming the damaged section on any CRC,
     framing or type mismatch — exactly one detectable section per flipped
     byte, mirroring the PCS1 parser.
@@ -275,10 +285,14 @@ def parse_shard(blob: bytes):
     if not isinstance(directory, list):
         raise SharedStoreError("bad directory JSON", section="directory")
     pool = payloads["body_pool"]
-    entries: Dict[str, Tuple[bytes, int]] = {}
+    entries: Dict[str, Tuple[bytes, int, int]] = {}
     try:
         for record in directory:
-            digest, rec_offset, size, stamp = record
+            if len(record) == 4:
+                digest, rec_offset, size, stamp = record
+                cost_us = 0
+            else:
+                digest, rec_offset, size, stamp, cost_us = record
             if (
                 not isinstance(digest, str)
                 or rec_offset < 0
@@ -288,7 +302,11 @@ def parse_shard(blob: bytes):
                 raise SharedStoreError(
                     "directory record out of bounds", section="directory"
                 )
-            entries[digest] = (pool[rec_offset : rec_offset + size], int(stamp))
+            entries[digest] = (
+                pool[rec_offset : rec_offset + size],
+                int(stamp),
+                int(cost_us),
+            )
     except SharedStoreError:
         raise
     except (TypeError, ValueError) as exc:
@@ -326,6 +344,9 @@ class PublishResult:
     evicted: int = 0
     #: Shard files rewritten.
     shards_written: int = 0
+    #: Offered bodies skipped by cost-aware admission: their measured
+    #: compile cost fell below the store's storage-cost floor.
+    admission_skipped: int = 0
 
 
 @dataclass
@@ -404,6 +425,7 @@ class SharedBodyStore:
         storage: Optional[FileStorage] = None,
         max_bytes: Optional[int] = None,
         clock=time.time,
+        publish_min_cost_us: Optional[int] = None,
     ):
         self.directory = directory
         self.vm_version = vm_version
@@ -412,6 +434,21 @@ class SharedBodyStore:
         #: Soft size cap (sum of body bytes in the current pool); when
         #: set, every publish enforces it by LRU eviction.
         self.max_bytes = max_bytes
+        #: Cost-aware admission floor (µs of measured host-compile wall
+        #: clock): a publish skips bodies cheaper to recompute than to
+        #: store — "store only if recompute cost exceeds storage cost".
+        #: Defaults to ``REPRO_PUBLISH_MIN_COST_US`` (env), then 0,
+        #: which admits everything (the pre-cost behavior).  Unmeasured
+        #: bodies (sidecar revives, pool healing) offer cost 0 and are
+        #: skipped by any non-zero floor.
+        if publish_min_cost_us is None:
+            try:
+                publish_min_cost_us = int(
+                    os.environ.get("REPRO_PUBLISH_MIN_COST_US", "0") or 0
+                )
+            except ValueError:
+                publish_min_cost_us = 0
+        self.publish_min_cost_us = publish_min_cost_us
         #: Injectable time source so tests can pin LRU ordering.
         self.clock = clock
         #: (kind, filename, reason) records of quarantine/io events.
@@ -537,7 +574,7 @@ class SharedBodyStore:
     def __contains__(self, digest: str) -> bool:
         return self.lookup(digest) is not None
 
-    def _load_shard(self, prefix: str) -> Dict[str, Tuple[bytes, int]]:
+    def _load_shard(self, prefix: str) -> Dict[str, Tuple[bytes, int, int]]:
         """Parsed entries of one shard; `{}` when absent or damaged.
 
         Results are cached per stat signature: a shard rewritten by any
@@ -589,21 +626,32 @@ class SharedBodyStore:
         self,
         blobs: Dict[str, bytes],
         touch: Iterable[str] = (),
+        costs: Optional[Dict[str, int]] = None,
     ) -> PublishResult:
         """Make ``blobs`` visible to every database on this host.
 
         ``touch`` names already-present digests whose last-use stamp
         should be refreshed (the LRU signal from a session that revived
-        them).  Per shard, the protocol is lock → fresh re-read → merge
-        → atomic write-replace → unlock, so concurrent publishers never
-        lose each other's bodies and readers never observe a torn shard.
-        Content addressing makes the merge trivial: an already-present
-        digest keeps its existing bytes (equal by construction).
+        them).  ``costs`` carries the measured host-compile wall clock
+        (µs) per offered digest; when the store has a non-zero
+        ``publish_min_cost_us`` floor, bodies cheaper than the floor are
+        skipped (``admission_skipped``) — recompiling them costs less
+        than storing them.  Per shard, the protocol is lock → fresh
+        re-read → merge → atomic write-replace → unlock, so concurrent
+        publishers never lose each other's bodies and readers never
+        observe a torn shard.  Content addressing makes the merge
+        trivial: an already-present digest keeps its existing bytes
+        (equal by construction).
         """
         result = PublishResult()
         now = int(self.clock())
+        costs = costs or {}
+        floor = self.publish_min_cost_us
         groups: Dict[str, Dict[str, Optional[bytes]]] = {}
         for digest, blob in blobs.items():
+            if floor > 0 and int(costs.get(digest, 0)) < floor:
+                result.admission_skipped += 1
+                continue
             groups.setdefault(shard_prefix(digest), {})[digest] = blob
         for digest in touch:
             groups.setdefault(shard_prefix(digest), {}).setdefault(digest, None)
@@ -623,11 +671,15 @@ class SharedBodyStore:
                     if existing is None:
                         if blob is None:
                             continue  # touch of an absent digest: no-op
-                        entries[digest] = (blob, now)
+                        entries[digest] = (
+                            blob, now, int(costs.get(digest, 0))
+                        )
                         result.published += 1
                         changed = True
                     elif existing[1] != now:
-                        entries[digest] = (existing[0], now)
+                        # Keep the recorded compile cost across stamp
+                        # refreshes (the body was not recompiled).
+                        entries[digest] = (existing[0], now, existing[2])
                         result.refreshed += 1
                         changed = True
                 if changed:
@@ -639,7 +691,7 @@ class SharedBodyStore:
         return result
 
     def _write_shard(
-        self, prefix: str, entries: Dict[str, Tuple[bytes, int]]
+        self, prefix: str, entries: Dict[str, tuple]
     ) -> None:
         """Replace one shard (caller holds its lock); empty → removed."""
         path = self.shard_path(prefix)
@@ -660,9 +712,9 @@ class SharedBodyStore:
     def total_bytes(self) -> int:
         """Sum of body bytes in the current pool (the cap's measure)."""
         return sum(
-            len(blob)
+            len(record[0])
             for prefix in self._shard_prefixes()
-            for blob, _stamp in self._load_shard(prefix).values()
+            for record in self._load_shard(prefix).values()
         )
 
     def total_entries(self) -> int:
@@ -726,7 +778,7 @@ class SharedBodyStore:
                     continue
                 report.scanned_entries += len(entries)
                 report.scanned_bytes += sum(
-                    len(blob) for blob, _stamp in entries.values()
+                    len(record[0]) for record in entries.values()
                 )
                 kept = {
                     digest: record
@@ -736,8 +788,8 @@ class SharedBodyStore:
                 if len(kept) != len(entries):
                     report.swept_entries += len(entries) - len(kept)
                     report.swept_bytes += sum(
-                        len(blob)
-                        for digest, (blob, _stamp) in entries.items()
+                        len(record[0])
+                        for digest, record in entries.items()
                         if digest not in kept
                     )
                     self._write_shard(prefix, kept)
@@ -793,7 +845,8 @@ class SharedBodyStore:
         records = []  # (stamp, digest, size, prefix)
         total = 0
         for prefix in self._shard_prefixes():
-            for digest, (blob, stamp) in self._load_shard(prefix).items():
+            for digest, record in self._load_shard(prefix).items():
+                blob, stamp = record[0], record[1]
                 records.append((stamp, digest, len(blob), prefix))
                 total += len(blob)
         if total <= max_bytes:
@@ -819,8 +872,8 @@ class SharedBodyStore:
                     continue
                 evicted_entries += len(entries) - len(kept)
                 evicted_bytes += sum(
-                    len(blob)
-                    for digest, (blob, _stamp) in entries.items()
+                    len(record[0])
+                    for digest, record in entries.items()
                     if digest not in kept
                 )
                 self._write_shard(prefix, kept)

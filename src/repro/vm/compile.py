@@ -107,6 +107,8 @@ from __future__ import annotations
 
 import hashlib
 import marshal
+import threading
+import time
 from types import SimpleNamespace
 from typing import Dict, List, Optional
 
@@ -166,15 +168,26 @@ _INT64_MAX = 9223372036854775807
 
 #: Memoized closure factories, keyed by everything the generated source
 #: bakes in (see :func:`_trace_key`).  Each value is a ``(make, digest,
-#: body_bytes)`` triple: the compiled ``_make`` function, the sidecar
-#: digest of its key, and the ``marshal`` serialization of its code
+#: body_bytes, cost_us)`` tuple: the compiled ``_make`` function, the
+#: sidecar digest of its key, the ``marshal`` serialization of its code
 #: object (so a memo hit can still populate a fresh sidecar without
-#: recompiling).  A hit skips source generation, host compilation *and*
-#: the module ``exec`` — the factory is simply re-bound to the new run's
-#: captures.  Bounded: the table is flushed wholesale when it outgrows
-#: the cap (the same reclamation policy the code cache uses).
+#: recompiling), and the measured host ``compile()`` wall clock in
+#: microseconds (0 when the factory was revived from a sidecar rather
+#: than compiled here — the shared store's cost-aware admission treats
+#: unmeasured bodies as free to recompute).  A hit skips source
+#: generation, host compilation *and* the module ``exec`` — the factory
+#: is simply re-bound to the new run's captures.  Bounded: the table is
+#: flushed wholesale when it outgrows the cap (the same reclamation
+#: policy the code cache uses).
 _FACTORIES: Dict[tuple, tuple] = {}
 _FACTORIES_CAP = 8192
+
+#: Serializes factory resolution (memo probe + sidecar lookup + host
+#: compile + memo/store insertion) so background compile-queue workers
+#: (:mod:`repro.vm.compilequeue`) and the engine thread never interleave
+#: inside the critical section.  Binding a resolved factory to a run's
+#: captures happens outside the lock — it touches no shared state.
+_FACTORY_LOCK = threading.Lock()
 
 
 def _body_digest(key: tuple) -> str:
@@ -390,6 +403,58 @@ class TraceCompiler:
 
     # -- public API -----------------------------------------------------------
 
+    def prepare(self, translated: TranslatedTrace):
+        """Resolve the closure factory for ``translated`` without binding.
+
+        This is the expensive, run-independent half of :meth:`compile` —
+        memo probe, sidecar revive, or source generation + host
+        ``compile()`` — and the only half a background compile-queue
+        worker runs.  Thread-safe: the whole resolution holds
+        :data:`_FACTORY_LOCK`.  Returns an opaque prepared handle for
+        :meth:`bind`, or None when the trace is uncompilable (the caller
+        attaches :data:`UNCOMPILABLE`).
+        """
+        try:
+            key = _trace_key(translated, self.cost)
+            slots, callbacks = _capture_lists(translated)
+            with _FACTORY_LOCK:
+                cached = _FACTORIES.get(key)
+                if cached is None:
+                    digest = _body_digest(key)
+                    make, body_bytes, cost_us = self._build_factory(
+                        lambda: self._generate(translated, slots, callbacks),
+                        "<trace@0x%x>" % translated.entry,
+                        digest,
+                    )
+                    if len(_FACTORIES) >= _FACTORIES_CAP:
+                        _FACTORIES.clear()
+                    _FACTORIES[key] = (make, digest, body_bytes, cost_us)
+                else:
+                    make, digest, body_bytes, cost_us = cached
+                    self.code_memo_hits += 1
+                    store = self.body_store
+                    if store is not None and digest not in store.entries:
+                        # A fresh (or pruned) sidecar still learns bodies
+                        # the in-process memo already knows, at zero
+                        # compile cost.
+                        store.record_bytes(digest, body_bytes,
+                                           cost_us=cost_us)
+        except CompileError:
+            return None
+        return make, slots, callbacks
+
+    def bind(self, translated: TranslatedTrace, prepared):
+        """Bind a :meth:`prepare`\\ d factory to this run's captures.
+
+        Cheap and run-scoped; must run on the engine thread (the closure
+        references the live machine).  Attaches and returns the body.
+        """
+        make, slots, callbacks = prepared
+        body = make(self._context, slots, callbacks)
+        translated.compiled_body = body
+        self.compiled_count += 1
+        return body
+
     def compile(self, translated: TranslatedTrace):
         """Specialize ``translated``; attach and return the closure.
 
@@ -397,35 +462,11 @@ class TraceCompiler:
         returned, and the engine executes the trace interpreted — the
         tiers are observably identical, so falling back is always safe.
         """
-        try:
-            key = _trace_key(translated, self.cost)
-            cached = _FACTORIES.get(key)
-            slots, callbacks = _capture_lists(translated)
-            if cached is None:
-                digest = _body_digest(key)
-                make, body_bytes = self._build_factory(
-                    lambda: self._generate(translated, slots, callbacks),
-                    "<trace@0x%x>" % translated.entry,
-                    digest,
-                )
-                if len(_FACTORIES) >= _FACTORIES_CAP:
-                    _FACTORIES.clear()
-                _FACTORIES[key] = (make, digest, body_bytes)
-            else:
-                make, digest, body_bytes = cached
-                self.code_memo_hits += 1
-                store = self.body_store
-                if store is not None and digest not in store.entries:
-                    # A fresh (or pruned) sidecar still learns bodies the
-                    # in-process memo already knows, at zero compile cost.
-                    store.record_bytes(digest, body_bytes)
-            body = make(self._context, slots, callbacks)
-        except CompileError:
+        prepared = self.prepare(translated)
+        if prepared is None:
             translated.compiled_body = UNCOMPILABLE
             return UNCOMPILABLE
-        translated.compiled_body = body
-        self.compiled_count += 1
-        return body
+        return self.bind(translated, prepared)
 
     def compile_region(self, members: List[TranslatedTrace]):
         """Fuse a stable hot chain into one superblock closure.
@@ -453,23 +494,27 @@ class TraceCompiler:
                 member_slots, member_callbacks = _capture_lists(member)
                 slots.extend(member_slots)
                 callbacks.extend(member_callbacks)
-            cached = _FACTORIES.get(key)
-            if cached is None:
-                digest = _body_digest(key)
-                make, body_bytes = self._build_factory(
-                    lambda: self._generate_region(members, slots, callbacks),
-                    "<region@0x%x>" % members[0].entry,
-                    digest,
-                )
-                if len(_FACTORIES) >= _FACTORIES_CAP:
-                    _FACTORIES.clear()
-                _FACTORIES[key] = (make, digest, body_bytes)
-            else:
-                make, digest, body_bytes = cached
-                self.code_memo_hits += 1
-                store = self.body_store
-                if store is not None and digest not in store.entries:
-                    store.record_bytes(digest, body_bytes)
+            with _FACTORY_LOCK:
+                cached = _FACTORIES.get(key)
+                if cached is None:
+                    digest = _body_digest(key)
+                    make, body_bytes, cost_us = self._build_factory(
+                        lambda: self._generate_region(
+                            members, slots, callbacks
+                        ),
+                        "<region@0x%x>" % members[0].entry,
+                        digest,
+                    )
+                    if len(_FACTORIES) >= _FACTORIES_CAP:
+                        _FACTORIES.clear()
+                    _FACTORIES[key] = (make, digest, body_bytes, cost_us)
+                else:
+                    make, digest, body_bytes, cost_us = cached
+                    self.code_memo_hits += 1
+                    store = self.body_store
+                    if store is not None and digest not in store.entries:
+                        store.record_bytes(digest, body_bytes,
+                                           cost_us=cost_us)
             body = make(self._context, slots, callbacks, members)
         except CompileError:
             return None
@@ -477,12 +522,15 @@ class TraceCompiler:
         return body
 
     def _build_factory(self, source_fn, filename: str, digest: str):
-        """Produce ``(make, marshal_bytes)`` for a factory-memo miss.
+        """Produce ``(make, marshal_bytes, cost_us)`` for a memo miss.
 
         Tries the attached sidecar first — a hit ``exec``\\ s the revived
-        code object, skipping source generation and host ``compile()``;
-        a miss (or no store) compiles from ``source_fn()`` and records
-        the result into the store for the next process.
+        code object, skipping source generation and host ``compile()``
+        (reported cost 0: nothing was measured, and an unmeasured body is
+        treated as free to recompute by cost-aware admission); a miss (or
+        no store) compiles from ``source_fn()``, measures the host
+        ``compile()`` wall clock, and records the result into the store
+        for the next process.  Caller holds :data:`_FACTORY_LOCK`.
         """
         store = self.body_store
         if store is not None:
@@ -499,17 +547,19 @@ class TraceCompiler:
                     pass
                 else:
                     self.sidecar_hits += 1
-                    return make, store.entries[digest]
+                    return make, store.entries[digest], 0
         source = source_fn()
+        start = time.perf_counter()
         code = compile(source, filename, "exec")
+        cost_us = int((time.perf_counter() - start) * 1_000_000)
         self.host_compiles += 1
         namespace = {}
         exec(code, namespace)  # noqa: S102 - self-generated source
         make = namespace["_make"]
         body_bytes = marshal.dumps(code)
         if store is not None:
-            store.record_bytes(digest, body_bytes)
-        return make, body_bytes
+            store.record_bytes(digest, body_bytes, cost_us=cost_us)
+        return make, body_bytes, cost_us
 
     # -- code generation -------------------------------------------------------
 

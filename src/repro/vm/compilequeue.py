@@ -1,0 +1,209 @@
+"""Background compile queue: host ``compile()`` off the execution path.
+
+Host compilation is ~93% of a cold trace-compile and — under the default
+``compile_mode="sync"`` — sits squarely on the execution path: the first
+entry into a cold trace blocks until its closure exists, so a cold
+session's time-to-first-output is dominated by codegen the persistent
+caches exist to amortize.  This module moves that work off-path:
+
+* The engine hands a cold trace to :meth:`CompileQueue.poll` instead of
+  compiling it inline.  If no finished body is ready, ``poll`` enqueues
+  the trace (first sighting) and returns None — the engine executes the
+  trace **interpreted** this time, which is safe because the interpreted
+  oracle and the compiled tier are bit-identical per execution
+  (docs/performance.md); a run may freely mix tiers per trace execution
+  and ``VMStats`` stays a pure function of the program.
+* Worker threads drain the queue running only the run-independent half
+  of compilation, :meth:`TraceCompiler.prepare` — memo probe, sidecar
+  revive, or source generation + host ``compile()`` — which is
+  bit-identical by construction (the factory memo key bakes in
+  everything the generated source depends on).
+* At a later entry into the same trace, ``poll`` finds the finished
+  factory, binds it to the run's captures **on the engine thread**
+  (:meth:`TraceCompiler.bind` — closures reference the live machine) and
+  swaps it in atomically by attaching ``translated.compiled_body``.
+
+Swap-ins are guarded by ``CodeCache.generation``: the generation is
+recorded at enqueue time, and if it advanced by swap-in time (SMC
+eviction, module unload, ``cache_flush``) the finished body is discarded
+and the trace re-enqueued — the factory memo makes the second resolution
+nearly free.  This is conservative (a generation bump does not
+necessarily invalidate *this* trace's factory, which is content-keyed)
+but keeps the swap-in rule trivially alignable with the inline caches
+and link slots, which use the same guard.
+
+Backpressure never drops a trace: an enqueue attempt that finds the
+queue full compiles synchronously instead (``queue_full_syncs``), so
+every trace either swaps in, compiles inline, or keeps running
+interpreted — three observably identical outcomes.
+
+With ``workers=0`` no threads are started and queued tasks only run when
+a test calls :meth:`CompileQueue.process_one` / :meth:`CompileQueue.drain`
+— the deterministic harness for the enqueue → generation-bump → discard
+race and the queue-full fallback.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.vm.compile import UNCOMPILABLE
+from repro.vm.stats import QueueStats
+
+#: Default bound on queued-but-unstarted compile tasks.  Generous: a
+#: compile-heavy startup can enqueue a few hundred traces before the
+#: first worker pass drains them, and every queue-full fallback puts a
+#: host ``compile()`` back on the execution path.
+DEFAULT_QUEUE_DEPTH = 128
+
+
+class CompileQueue:
+    """Bounded background compile queue for one engine run.
+
+    Like the compiler it wraps, a queue never outlives its run: the
+    engine creates it at ``run()`` entry (``compile_mode="background"``)
+    and shuts it down in a ``finally`` so worker threads never leak
+    across runs.
+    """
+
+    def __init__(self, compiler, cache, depth: int = DEFAULT_QUEUE_DEPTH,
+                 workers: int = 1):
+        self.compiler = compiler
+        self.cache = cache
+        self.stats = QueueStats()
+        self._tasks: "queue_module.Queue" = queue_module.Queue(
+            maxsize=max(1, depth)
+        )
+        #: id(translated) -> (enqueue_generation, prepared_or_None,
+        #: translated).  The trace object rides along to keep it alive —
+        #: results are keyed by object identity, and a strong reference
+        #: guarantees the id is never recycled while a result is held.
+        self._results: Dict[int, Tuple[int, object, object]] = {}
+        #: id(translated) for tasks enqueued or being prepared; the task
+        #: queue / worker holds the strong reference for these.
+        self._inflight: set = set()
+        self._lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        for index in range(max(0, workers)):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name="repro-compile-%d" % index,
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    # -- engine-thread API ----------------------------------------------------
+
+    def poll(self, translated):
+        """Advance ``translated`` through the background pipeline.
+
+        Returns the compiled body after a swap-in (or a synchronous
+        fallback compile), the :data:`UNCOMPILABLE` sentinel when the
+        worker proved the trace uncompilable, or None — the body is
+        still pending and the engine must execute the trace interpreted
+        this time.
+        """
+        key = id(translated)
+        stats = self.stats
+        with self._lock:
+            entry = self._results.pop(key, None)
+            if entry is None and key in self._inflight:
+                stats.interpreted_runs += 1
+                return None
+        if entry is not None:
+            generation, prepared, _anchor = entry
+            if prepared is None:
+                # Uncompilable is a pure function of the trace content —
+                # generation-independent, attach unconditionally.
+                translated.compiled_body = UNCOMPILABLE
+                return UNCOMPILABLE
+            if generation == self.cache.generation:
+                body = self.compiler.bind(translated, prepared)
+                stats.swap_ins += 1
+                return body
+            # The cache churned (SMC evict, module unload, flush)
+            # between enqueue and swap-in: discard the stale body and
+            # fall through to re-enqueue under the current generation.
+            stats.generation_discards += 1
+        with self._lock:
+            self._inflight.add(key)
+            backlog = self._tasks.qsize() + 1
+            if backlog > stats.backlog_high_water:
+                stats.backlog_high_water = backlog
+        try:
+            self._tasks.put_nowait((key, translated, self.cache.generation))
+        except queue_module.Full:
+            with self._lock:
+                self._inflight.discard(key)
+            stats.queue_full_syncs += 1
+            return self.compiler.compile(translated)
+        stats.enqueued += 1
+        stats.interpreted_runs += 1
+        return None
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop the workers (idempotent).  Pending tasks are drained by
+        the workers on their way to the sentinel; held results are
+        dropped with the queue."""
+        for _ in self._threads:
+            self._tasks.put(None)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+
+    # -- test/manual-drive API ------------------------------------------------
+
+    def process_one(self) -> bool:
+        """Run one queued task on the calling thread (``workers=0``
+        deterministic mode).  Returns False when the queue is empty."""
+        try:
+            task = self._tasks.get_nowait()
+        except queue_module.Empty:
+            return False
+        if task is not None:
+            self._process(task)
+        return True
+
+    def drain(self) -> None:
+        """Run every queued task on the calling thread."""
+        while self.process_one():
+            pass
+
+    @property
+    def backlog(self) -> int:
+        """Queued-but-unstarted tasks (introspection/tests)."""
+        return self._tasks.qsize()
+
+    def pending(self, translated) -> bool:
+        """True while ``translated`` is enqueued, being prepared, or has
+        an unclaimed result (introspection/tests)."""
+        key = id(translated)
+        with self._lock:
+            return key in self._inflight or key in self._results
+
+    # -- worker side ----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            task = self._tasks.get()
+            if task is None:
+                return
+            self._process(task)
+
+    def _process(self, task) -> None:
+        key, translated, generation = task
+        try:
+            prepared: Optional[object] = self.compiler.prepare(translated)
+        except Exception:
+            # A worker must never kill the run.  Treat any unexpected
+            # failure as uncompilable: the trace simply stays on the
+            # interpreted oracle, which is observably identical.
+            prepared = None
+        with self._lock:
+            self._results[key] = (generation, prepared, translated)
+            self._inflight.discard(key)
+            if prepared is not None:
+                self.stats.compiled_offpath += 1

@@ -47,7 +47,8 @@ from repro.vm.compile import (
     TraceCompiler,
     UNCOMPILABLE,
 )
-from repro.vm.stats import ICStats, LinkStats, VMStats
+from repro.vm.compilequeue import CompileQueue
+from repro.vm.stats import ICStats, LinkStats, QueueStats, VMStats
 from repro.vm.trace import ExitKind, TraceSelector
 from repro.vm.translator import TranslatedTrace, Translator
 from repro.isa.opcodes import Opcode
@@ -107,6 +108,23 @@ class VMConfig:
     #: reverts to the one-closure-call-per-dispatch behavior (the bench
     #: baseline for the trace_linking family).
     trace_linking: bool = True
+    #: When a cold trace's closure is built: ``"sync"`` (default)
+    #: compiles on the execution path at first entry — the bit-exact
+    #: baseline; ``"background"`` hands cold traces to a bounded compile
+    #: queue (repro.vm.compilequeue) and executes them **interpreted**
+    #: until the finished closure swaps in at a later entry, taking host
+    #: ``compile()`` off the time-to-first-output path.  Host-side
+    #: scheduling only — the tiers are observably identical per
+    #: execution, so ``VMStats`` is bit-identical across compile modes.
+    compile_mode: str = "sync"
+    #: Bound on queued-but-unstarted background compiles; a full queue
+    #: degrades the enqueue to a synchronous compile (never drops).
+    compile_queue_depth: int = 128
+    #: Background compile worker threads.  One is the right default on
+    #: CPython: workers only overlap with execution at GIL switch
+    #: granularity, and a single worker already drains the startup
+    #: backlog off the first-output path.
+    compile_workers: int = 1
 
 
 @dataclass
@@ -130,6 +148,10 @@ class VMRunResult:
     #: compiled tier (all-zero under interpreted dispatch or with
     #: ``trace_linking`` off).  Host-side only, like ``ic_stats``.
     link_stats: LinkStats = field(default_factory=LinkStats)
+    #: Background compile-queue accounting (all-zero under
+    #: ``compile_mode="sync"`` or interpreted dispatch).  Host-side
+    #: only, like ``ic_stats`` and ``link_stats``.
+    queue_stats: QueueStats = field(default_factory=QueueStats)
 
     @property
     def total_cycles(self) -> float:
@@ -155,6 +177,7 @@ class Engine:
         self._persistence_disabled = False
         #: Per-run dispatch state (rebuilt by every run()).
         self._compiler: Optional[TraceCompiler] = None
+        self._compile_queue: Optional[CompileQueue] = None
         self._analysis_context: Optional[AnalysisContext] = None
 
     # -- public API -------------------------------------------------------------
@@ -197,6 +220,12 @@ class Engine:
                 "unknown dispatch_mode %r (expected 'interpreted' or"
                 " 'compiled')" % (dispatch_mode,)
             )
+        compile_mode = self.config.compile_mode
+        if compile_mode not in ("sync", "background"):
+            raise EngineError(
+                "unknown compile_mode %r (expected 'sync' or"
+                " 'background')" % (compile_mode,)
+            )
         machine = machine or Machine(process)
         machine.set_args(*args)
         stats = VMStats()
@@ -223,6 +252,17 @@ class Engine:
                 max_instructions=self.config.max_instructions,
             )
             if dispatch_mode == "compiled"
+            else None
+        )
+        # Background mode only applies to the compiled tier (interpreted
+        # dispatch never compiles anything to defer).
+        self._compile_queue = (
+            CompileQueue(
+                self._compiler, cache,
+                depth=self.config.compile_queue_depth,
+                workers=self.config.compile_workers,
+            )
+            if self._compiler is not None and compile_mode == "background"
             else None
         )
 
@@ -303,32 +343,38 @@ class Engine:
         arrived_resident: Optional[TranslatedTrace] = None
 
         budget = self.config.max_instructions
-        while pc is not None:
-            if stats.instructions_executed >= budget:
-                raise MachineFault("instruction budget exhausted", pc)
-            if arrived_resident is not None:
-                translated = arrived_resident
-                arrived_resident = None
-            else:
-                translated = cache.lookup(pc)
-                if translated is None:
-                    translated = self._translate_at(
-                        pc, machine, selector, translator, cache, stats
-                    )
-            pc, exit_status, arrived_resident = self._execute_trace(
-                translated, context, machine, cache, stats, accounting, exit_status
-            )
-            if (
-                pc is not None
-                and arrived_resident is None
-                and pc in cache
-            ):
-                # The exit found its target resident (indirect hit or
-                # post-emulation resume): no VM round-trip needed.
-                arrived_resident = cache.lookup(pc)
-            elif pc is not None and arrived_resident is None:
-                stats.charge_dispatch(cost.vm_entry)
-                stats.vm_entries += 1
+        try:
+            while pc is not None:
+                if stats.instructions_executed >= budget:
+                    raise MachineFault("instruction budget exhausted", pc)
+                if arrived_resident is not None:
+                    translated = arrived_resident
+                    arrived_resident = None
+                else:
+                    translated = cache.lookup(pc)
+                    if translated is None:
+                        translated = self._translate_at(
+                            pc, machine, selector, translator, cache, stats
+                        )
+                pc, exit_status, arrived_resident = self._execute_trace(
+                    translated, context, machine, cache, stats, accounting,
+                    exit_status
+                )
+                if (
+                    pc is not None
+                    and arrived_resident is None
+                    and pc in cache
+                ):
+                    # The exit found its target resident (indirect hit or
+                    # post-emulation resume): no VM round-trip needed.
+                    arrived_resident = cache.lookup(pc)
+                elif pc is not None and arrived_resident is None:
+                    stats.charge_dispatch(cost.vm_entry)
+                    stats.vm_entries += 1
+        finally:
+            # Worker threads never outlive their run, whatever ends it.
+            if self._compile_queue is not None:
+                self._compile_queue.shutdown()
 
         self.tool.on_exit(machine, exit_status)
 
@@ -353,6 +399,11 @@ class Engine:
             persistence_report=persistence_report,
             ic_stats=ic_stats,
             link_stats=link_stats,
+            queue_stats=(
+                self._compile_queue.stats
+                if self._compile_queue is not None
+                else QueueStats()
+            ),
         )
         if self.persistence is not None and hasattr(
             self.persistence, "on_result"
@@ -446,10 +497,18 @@ class Engine:
 
         compiler = self._compiler
         if compiler is not None:
+            queue = self._compile_queue
             body = translated.compiled_body
             if body is None:
-                body = compiler.compile(translated)
-            if body is not UNCOMPILABLE:
+                if queue is not None:
+                    # Background mode: enqueue (or swap in a finished
+                    # body).  None means still pending — execute the
+                    # trace interpreted this time; the tiers are
+                    # bit-identical per execution, so mixing is safe.
+                    body = queue.poll(translated)
+                else:
+                    body = compiler.compile(translated)
+            if body is not None and body is not UNCOMPILABLE:
                 if not self.config.trace_linking:
                     # PR-5 behavior: one closure call per dispatch.
                     next_pc, slot, event, resident = body()
@@ -486,9 +545,16 @@ class Engine:
                         # interpreted tier would have faulted at.
                         return next_pc, exit_status, resident
                     next_body = resident.compiled_body
-                    if next_body is None:
+                    if next_body is None and queue is None:
                         next_body = compiler.compile(resident)
-                    if next_body is UNCOMPILABLE:
+                    if next_body is None or next_body is UNCOMPILABLE:
+                        # Uncompilable successor, or (background mode)
+                        # its body does not exist yet: bounce back to
+                        # the dispatch loop, whose preamble redoes the
+                        # demand-load/executions bookkeeping and polls
+                        # the queue / runs the resident interpreted (no
+                        # vm_entry charge on the arrived_resident path —
+                        # same simulated cost as continuing the chain).
                         links.link_bounces += 1
                         return next_pc, exit_status, resident
                     if resident.from_persistent and not resident.demand_loaded:
@@ -524,7 +590,9 @@ class Engine:
                         slot, next_pc, cache, stats, exit_status
                     )
                 return next_pc, exit_status, None
-            # Uncompilable trace: fall through to the interpreted oracle.
+            # Uncompilable trace — or its body is still pending in the
+            # background compile queue: fall through to the interpreted
+            # oracle (bit-identical per execution).
 
         trace = translated.trace
         uops = trace.uops

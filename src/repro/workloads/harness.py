@@ -8,6 +8,7 @@ input end to end.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -49,6 +50,29 @@ class Workload:
         )
 
 
+class FirstOutputTimer(bytearray):
+    """Output buffer that stamps the host clock at the first byte.
+
+    Drop-in replacement for ``OSState.output`` (a plain bytearray that
+    syscall handling only ever ``extend``\\ s): ``first_output_s`` holds
+    ``time.perf_counter()`` at the moment the first non-empty write
+    lands, or None if the program never wrote.  Subtracting the
+    caller's pre-run stamp gives time-to-first-output (TTFO) — the
+    metric the tiered warm-up bench family gates, since background
+    compilation's whole point is taking host ``compile()`` off this
+    path.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.first_output_s: Optional[float] = None
+
+    def extend(self, data) -> None:  # type: ignore[override]
+        if self.first_output_s is None and len(data):
+            self.first_output_s = time.perf_counter()
+        super().extend(data)
+
+
 def run_native(
     workload: Workload,
     input_name: str,
@@ -70,12 +94,17 @@ def run_vm(
     layout: Optional[LoadLayout] = None,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     vm_config: Optional[VMConfig] = None,
+    output_timer: Optional[FirstOutputTimer] = None,
 ) -> VMRunResult:
     """Run one input under the DBI engine.
 
     ``persistence`` (when given) attaches a fresh
     :class:`~repro.persist.manager.PersistentCacheSession` for this run —
     sessions are single-use, mirroring one VM process lifetime.
+
+    ``output_timer`` (when given) replaces the process's output buffer
+    so the harness can observe time-to-first-output; the run's
+    observable results are unaffected (same bytes, stats, status).
     """
     process = workload.load(layout)
     session = (
@@ -87,4 +116,10 @@ def run_vm(
         config=vm_config,
         persistence=session,
     )
-    return engine.run(process, args=workload.input(input_name).to_args())
+    machine = None
+    if output_timer is not None:
+        machine = Machine(process)
+        machine.os_state.output = output_timer
+    return engine.run(
+        process, args=workload.input(input_name).to_args(), machine=machine
+    )

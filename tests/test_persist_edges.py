@@ -44,12 +44,15 @@ class TestSessionLifecycle:
             "sidecar_new_entries",
             "shared_store_state", "shared_hits", "shared_misses",
             "shared_publishes", "shared_gc_evictions",
-            "shared_touch_refreshes",
+            "shared_touch_refreshes", "shared_admission_skipped",
             "ic_hits", "ic_misses", "ic_resets", "ic_depth_hits",
             "ic_overflow_hits",
             "link_direct_hops", "link_ic_hops", "link_bounces",
             "regions_fused", "region_entries", "region_hops",
             "region_invalidations", "fusion_aborts",
+            "queue_enqueued", "queue_compiled_offpath", "queue_swap_ins",
+            "queue_generation_discards", "queue_full_syncs",
+            "queue_backlog_high_water", "queue_interpreted_runs",
             "record_state", "record_events", "record_log",
             "replay_state", "replay_events",
         }

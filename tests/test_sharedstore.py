@@ -80,13 +80,26 @@ def observable(result):
 
 class TestShardFormat:
     def test_roundtrip(self):
+        # Two-tuple values (the pre-cost call shape) pack with cost 0;
+        # the parser always hands back (blob, stamp, cost_us) triples.
         entries = {
             digest_for(i): (blob_for("b%d" % i), 100 + i) for i in range(5)
         }
         blob = pack_shard(VM_VERSION, host_code_tag(), entries)
         vm, host, revived = parse_shard(blob)
         assert vm == VM_VERSION and host == host_code_tag()
-        assert revived == entries
+        assert revived == {
+            digest: (body, stamp, 0)
+            for digest, (body, stamp) in entries.items()
+        }
+
+    def test_roundtrip_preserves_compile_cost(self):
+        entries = {
+            digest_for(i): (blob_for("b%d" % i), 100 + i, 1000 * i)
+            for i in range(5)
+        }
+        blob = pack_shard(VM_VERSION, host_code_tag(), entries)
+        assert parse_shard(blob)[2] == entries
 
     def test_empty_roundtrip(self):
         blob = pack_shard(VM_VERSION, host_code_tag(), {})
@@ -187,6 +200,91 @@ class TestLookupPublish:
         assert other.lookup(digest_for(4)) is None
         store.publish({digest_for(4): b"four"})
         assert other.lookup(digest_for(4)) == b"four"
+
+
+class TestCostAwareAdmission:
+    """The publish-time storage-cost floor (``publish_min_cost_us``).
+
+    The shared pool is a capped communal resource: admitting a body
+    whose host ``compile()`` took less than the floor spends pool bytes
+    (and future GC pressure) to save less time than a cache probe
+    costs.  The floor defaults to 0 — admit everything, the historical
+    behavior — and is tunable per store or via the
+    ``REPRO_PUBLISH_MIN_COST_US`` environment variable.
+    """
+
+    def test_default_floor_admits_everything(self, store):
+        assert store.publish_min_cost_us == 0
+        result = store.publish(
+            {digest_for(1): b"one", digest_for(2): b"two"},
+            costs={digest_for(1): 1},
+        )
+        assert result.published == 2
+        assert result.admission_skipped == 0
+
+    def test_floor_skips_cheap_bodies(self, tmp_path):
+        store = SharedBodyStore(
+            str(tmp_path / "floored"), vm_version=VM_VERSION,
+            publish_min_cost_us=100,
+        )
+        result = store.publish(
+            {digest_for(1): b"cheap", digest_for(2): b"costly"},
+            costs={digest_for(1): 99, digest_for(2): 100},
+        )
+        assert result.published == 1
+        assert result.admission_skipped == 1
+        assert store.lookup(digest_for(1)) is None
+        assert store.lookup(digest_for(2)) == b"costly"
+
+    def test_floor_skips_unmeasured_bodies(self, tmp_path):
+        """No recorded cost counts as cost 0: a non-zero floor skips
+        bodies that arrived without a measurement (sidecar revives,
+        pool healing) rather than guessing."""
+        store = SharedBodyStore(
+            str(tmp_path / "floored"), vm_version=VM_VERSION,
+            publish_min_cost_us=1,
+        )
+        result = store.publish({digest_for(1): b"unmeasured"})
+        assert result.published == 0
+        assert result.admission_skipped == 1
+
+    def test_floor_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PUBLISH_MIN_COST_US", "250")
+        store = SharedBodyStore(
+            str(tmp_path / "env-floored"), vm_version=VM_VERSION
+        )
+        assert store.publish_min_cost_us == 250
+        monkeypatch.setenv("REPRO_PUBLISH_MIN_COST_US", "junk")
+        fallback = SharedBodyStore(
+            str(tmp_path / "env-junk"), vm_version=VM_VERSION
+        )
+        assert fallback.publish_min_cost_us == 0
+
+    def test_refresh_preserves_recorded_cost(self, store):
+        """Republishing an already-admitted body refreshes its stamp
+        but keeps the originally measured cost."""
+        digest = digest_for(1)
+        store.publish({digest: b"one"}, costs={digest: 500})
+        store.publish({digest: b"one"}, costs={digest: 0})
+        prefix = shard_prefix(digest)
+        record = store._load_shard(prefix)[digest]
+        assert record[2] == 500
+
+    def test_session_reports_admission_skips(self, tmp_path, monkeypatch):
+        """End to end: a floored pool skips every body of a real run
+        and the session report says so; the run itself is unaffected."""
+        monkeypatch.setenv("REPRO_PUBLISH_MIN_COST_US", "60000000")
+        workload = mini_workload()
+        store = SharedBodyStore(
+            str(tmp_path / "store"), vm_version=VM_VERSION
+        )
+        db = CacheDatabase(str(tmp_path / "db"), shared_store=store)
+        clear_code_object_cache()
+        result = compiled_run(workload, "a", db)
+        report = result.persistence_report
+        assert report["shared_admission_skipped"] > 0
+        assert report["shared_publishes"] == 0
+        assert result.exit_status == 0
 
 
 class TestWholesaleInvalidation:
@@ -521,8 +619,8 @@ def shard_snapshot(store):
     """Every digest in the pool -> (blob bytes, LRU stamp)."""
     out = {}
     for prefix in store._shard_prefixes():
-        for digest, (blob, stamp) in store._load_shard(prefix).items():
-            out[digest] = (len(blob), stamp)
+        for digest, record in store._load_shard(prefix).items():
+            out[digest] = (len(record[0]), record[1])
     return out
 
 
