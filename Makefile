@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Persistent-cache database directory for `make fsck` (override: make fsck DB=...)
 DB ?= /tmp/pcc-db
 
-.PHONY: test faultinject benchmarks bench-wallclock fsck stress gc replay-smoke prewarm-smoke
+.PHONY: test faultinject benchmarks bench-wallclock fsck stress gc replay-smoke prewarm-smoke daemon-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,9 +30,11 @@ bench-wallclock:
 fsck:
 	$(PYTHON) -m repro.cli cache fsck $(DB)
 
-# Multi-process stress for the shared per-host body store.
+# Multi-process stress for the shared per-host body store and the
+# cache-server daemon transport on top of it.
 stress:
-	$(PYTHON) -m pytest -q tests/test_sharedstore_concurrency.py
+	$(PYTHON) -m pytest -q tests/test_sharedstore_concurrency.py \
+		tests/test_cacheserver_concurrency.py
 
 # Replay-log database for `make replay-smoke` (override: make replay-smoke RDB=...)
 RDB ?= /tmp/pcc-replay-db
@@ -62,6 +64,26 @@ prewarm-smoke:
 		--corpus tiny --shared-store $(PWSTORE)
 	$(PYTHON) -m repro.cli prewarm --pcache $(PWDB) --jobs 2 \
 		--corpus tiny --shared-store $(PWSTORE) --verify
+
+# Daemon-smoke directories (override: make daemon-smoke DSDB=... DSSTORE=...)
+DSDB ?= /tmp/pcc-daemon-db
+DSSTORE ?= /tmp/pcc-daemon-store
+
+# Cache-server daemon smoke (docs/cache-format.md): start a detached
+# daemon on a fresh store, prewarm the tiny corpus through the socket
+# (daemon:// transport), re-prewarm with --verify (zero host compiles
+# or the CLI fails), then stop the daemon and fsck the store — the
+# daemon's write-backs must leave the shard files fully sound.
+daemon-smoke:
+	rm -rf $(DSDB) $(DSSTORE)
+	$(PYTHON) -m repro.cli cache serve $(DSSTORE) --detach
+	$(PYTHON) -m repro.cli prewarm --pcache $(DSDB) --jobs 2 \
+		--corpus tiny --shared-store daemon://$(DSSTORE)
+	$(PYTHON) -m repro.cli prewarm --pcache $(DSDB) --jobs 2 \
+		--corpus tiny --shared-store daemon://$(DSSTORE) --verify
+	$(PYTHON) -m repro.cli cache serve $(DSSTORE) --status
+	$(PYTHON) -m repro.cli cache serve $(DSSTORE) --stop
+	$(PYTHON) -m repro.cli cache fsck $(DSSTORE)
 
 # Shared per-host body store directory for `make gc` (override: make gc STORE=...)
 STORE ?= /tmp/pcc-shared-store

@@ -65,6 +65,19 @@ def test_wallclock_dispatch_tiers(record, tmp_path_factory):
                    family["prewarm_warm_host_compiles"],
                    family["identical_results"])
             )
+        elif "flock_s" in family:
+            rows.append(
+                "%-18s flock %.3fs  daemon %.3fs  %d procs  "
+                "host compiles %d/%d  lookup p50 %.1f/%.1fus  "
+                "fallback=%s  identical=%s"
+                % (name, family["flock_s"], family["daemon_s"],
+                   family["fleet_processes"],
+                   family["fleet_host_compiles_flock"],
+                   family["fleet_host_compiles_daemon"],
+                   family["flock_lookup_p50_us"],
+                   family["daemon_lookup_p50_us"],
+                   family["fallback_ok"], family["identical_results"])
+            )
         elif "plain_s" in family:
             rows.append(
                 "%-18s plain %.3fs  record %.3fs  overhead %.1f%%  "
@@ -138,6 +151,21 @@ def test_wallclock_dispatch_tiers(record, tmp_path_factory):
     )
     assert warmup["prewarm_warm_host_compiles"] == 0, warmup
     assert warmup["jobs_monotonic_ok"], warmup["prewarm_jobs_sweep"]
+
+    # Fleet warm-up: an 8-process warm fleet over the cache-server
+    # daemon compiles nothing, warm daemon lookups beat the flock
+    # store's stat-revalidated path, sessions against the stopped
+    # daemon silently fall back, and the store is fsck-clean after the
+    # daemon's write-backs.
+    fleet = results["workloads"]["fleet_warmup"]
+    assert fleet["daemon_alive"], fleet
+    assert fleet["fleet_host_compiles_daemon"] == 0, fleet
+    assert fleet["daemon_lookup_p50_us"] < fleet["flock_lookup_p50_us"], (
+        "daemon lookup p50 %.1fus not under flock %.1fus"
+        % (fleet["daemon_lookup_p50_us"], fleet["flock_lookup_p50_us"])
+    )
+    assert fleet["fallback_ok"], fleet
+    assert fleet["fsck_clean"], fleet
 
     # The acceptance gate: compiled >= 1.5x on fig5a warm-persistent GUI
     # startup (the configuration Figure 5(a) celebrates).

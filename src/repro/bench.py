@@ -361,6 +361,197 @@ def _shared_store_sweep(scratch_dir: str):
     return sweep, extras
 
 
+def _fleet_worker(task: tuple) -> dict:
+    """Pool entry point: one fleet member's warm session.
+
+    Runs in a forked child.  The inherited in-memory code-object memo
+    is cleared so every revive comes from a store — the child is a
+    stand-in for a fresh process attaching to the per-host pool — and
+    the shared-store spec string is resolved *here*, giving each member
+    its own daemon connection (or its own flock-store fallback).
+    """
+    _mode, _index, db_dir, store_spec = task
+    gc.disable()
+    from repro.persist.daemon import resolve_shared_store
+    from repro.vm.compile import clear_code_object_cache
+    from repro.vm.engine import VM_VERSION
+
+    clear_code_object_cache()
+    apps, _store = build_gui_suite()
+    name, app = sorted(apps.items())[0]
+    result = run_vm(
+        app, "startup",
+        persistence=PersistenceConfig(
+            database=CacheDatabase(db_dir),
+            readonly=True,
+            shared_store=resolve_shared_store(store_spec, VM_VERSION),
+        ),
+        vm_config=_config("compiled"),
+    )
+    report = result.persistence_report
+    return {
+        "output": result.output,
+        "exit_status": result.exit_status,
+        "stats": vars(result.stats),
+        "host_compiles": report["sidecar_host_compiles"],
+        "shared_hits": report["shared_hits"],
+        "transport": report["shared_transport"],
+    }
+
+
+def _payload_result(payload: dict):
+    """Rehydrate a worker payload into a ``_result_signature``-able
+    shape (the signature reads ``output``/``exit_status``/``stats``)."""
+    import types
+
+    return types.SimpleNamespace(
+        output=payload["output"],
+        exit_status=payload["exit_status"],
+        stats=types.SimpleNamespace(**payload["stats"]),
+    )
+
+
+def _payload_signature(payload: dict) -> tuple:
+    return _result_signature(_payload_result(payload))
+
+
+def _lookup_latencies(store, digests, passes: int = 3) -> List[float]:
+    """Per-lookup wall clock (µs) over ``passes`` sweeps of ``digests``.
+
+    Multiple passes are the point of the comparison: the flock store
+    pays a ``stat`` on *every* pass (its revalidation is per-lookup),
+    while the daemon client pays one RPC per shard prefix on the first
+    pass and serves later passes from its prefix cache — the hot-shard
+    index made client-side.
+    """
+    samples: List[float] = []
+    for _ in range(passes):
+        for digest in digests:
+            start = time.perf_counter_ns()
+            store.lookup(digest)
+            samples.append((time.perf_counter_ns() - start) / 1000.0)
+    return samples
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))]
+
+
+def _fleet_warmup_sweep(scratch_dir: str):
+    """A fleet of warm sessions against one per-host pool: daemon vs
+    flock transport.
+
+    Setup (untimed): a donor database runs the first GUI app cold,
+    publishing every compiled body to a shared store, and an in-process
+    :class:`~repro.persist.cacheserver.CacheServer` starts on that
+    store.  Each timed sweep then forks ``REPRO_FLEET_SESSIONS``
+    (default 8) real processes, each a never-warmed read-only consumer
+    database attaching to the pool — over the flock files (``flock``
+    mode) or over the daemon socket (``daemon`` mode).  Both modes must
+    be bit-identical and compile nothing; the daemon's win is the
+    lookup path, reported as p50/p99 per-lookup latency in the extras
+    alongside a fallback probe (a ``daemon://`` session against the
+    stopped daemon must silently produce the flock result) and a final
+    fsck.
+    """
+    import multiprocessing
+
+    from repro.persist.cacheserver import CacheServer
+    from repro.persist.daemon import DaemonBackedStore
+    from repro.persist.sharedstore import SharedBodyStore
+    from repro.vm.compile import clear_code_object_cache
+    from repro.vm.engine import VM_VERSION
+
+    try:
+        fleet = max(1, int(os.environ.get("REPRO_FLEET_SESSIONS", "8")))
+    except ValueError:
+        fleet = 8
+    store_dir = os.path.join(scratch_dir, "fleet-store")
+    shared = SharedBodyStore(store_dir, vm_version=VM_VERSION)
+    apps, _store = build_gui_suite()
+    name, app = sorted(apps.items())[0]
+    donor = CacheDatabase(
+        os.path.join(scratch_dir, "fleet-donor"), shared_store=shared
+    )
+    clear_code_object_cache()
+    run_vm(app, "startup", persistence=PersistenceConfig(database=donor),
+           vm_config=_config("compiled"))
+    server = CacheServer(store_dir, vm_version=VM_VERSION)
+    server.start()
+    context = multiprocessing.get_context("fork")
+    specs = {"flock": store_dir, "daemon": "daemon://" + store_dir}
+    host_compiles = {"flock": 0, "daemon": 0}
+    shared_hits = {"flock": 0, "daemon": 0}
+    transports: Dict[str, str] = {}
+    reference_sig: Dict[str, tuple] = {}
+
+    def sweep(mode: str) -> list:
+        tasks = [
+            (mode, index,
+             os.path.join(scratch_dir, "fleet-%s-%d" % (mode, index)),
+             specs[mode])
+            for index in range(fleet)
+        ]
+        pool = context.Pool(processes=fleet)
+        try:
+            payloads = pool.map(_fleet_worker, tasks)
+        finally:
+            pool.close()
+            pool.join()
+        host_compiles[mode] = sum(p["host_compiles"] for p in payloads)
+        shared_hits[mode] = sum(p["shared_hits"] for p in payloads)
+        transports[mode] = payloads[0]["transport"]
+        reference_sig[mode] = _payload_signature(payloads[0])
+        return [_payload_result(p) for p in payloads]
+
+    def extras() -> Dict[str, object]:
+        digests = [digest for digest, _record in shared.iter_entries()]
+        flock_lat = _lookup_latencies(
+            SharedBodyStore(store_dir, vm_version=VM_VERSION), digests
+        )
+        client = DaemonBackedStore(store_dir, VM_VERSION)
+        daemon_alive = client.transport == "daemon"
+        daemon_lat = _lookup_latencies(client, digests)
+        client.close()
+        server.stop()
+        # Fallback probe: the daemon is gone now, so a ``daemon://``
+        # session must silently degrade to the flock files and still
+        # produce the exact flock-mode result with zero host compiles.
+        fallback = _fleet_worker(
+            ("fallback", 0,
+             os.path.join(scratch_dir, "fleet-fallback-0"),
+             specs["daemon"])
+        )
+        fallback_ok = (
+            fallback["transport"] == "file"
+            and fallback["host_compiles"] == 0
+            and _payload_signature(fallback) == reference_sig.get("flock")
+        )
+        fsck_clean = SharedBodyStore(
+            store_dir, vm_version=VM_VERSION
+        ).fsck().clean
+        return {
+            "fleet_processes": fleet,
+            "fleet_host_compiles_flock": host_compiles["flock"],
+            "fleet_host_compiles_daemon": host_compiles["daemon"],
+            "fleet_shared_hits_daemon": shared_hits["daemon"],
+            "daemon_transport_used": transports.get("daemon", ""),
+            "daemon_alive": daemon_alive,
+            "flock_lookup_p50_us": _percentile(flock_lat, 0.50),
+            "flock_lookup_p99_us": _percentile(flock_lat, 0.99),
+            "daemon_lookup_p50_us": _percentile(daemon_lat, 0.50),
+            "daemon_lookup_p99_us": _percentile(daemon_lat, 0.99),
+            "lookup_samples": len(daemon_lat),
+            "fallback_ok": fallback_ok,
+            "fsck_clean": fsck_clean,
+        }
+
+    return sweep, extras
+
+
 def _record_overhead_sweep() -> Callable[[str], list]:
     """Recording cost on plain GUI startup (acceptance: under 10%).
 
@@ -827,6 +1018,14 @@ def run_wallclock(
         sweep, extras, ttfo = _tiered_warmup_sweep(scratch_dir)
         return sweep, ("sync", "background"), extras, ttfo
 
+    def _build_fleet_warmup():
+        # No TTFO probe: the family's headline is the N-process fleet
+        # wall clock plus the per-lookup latency extras (the daemon's
+        # extras stop the in-process server, so a later probe would
+        # only measure the fallback path anyway).
+        sweep, extras = _fleet_warmup_sweep(scratch_dir)
+        return sweep, ("flock", "daemon"), extras, None
+
     builders: Dict[str, Callable[[], tuple]] = {
         "fig5a_gui": lambda: (
             _fig5a_gui_sweep(scratch_dir), _MODES, None,
@@ -845,6 +1044,7 @@ def run_wallclock(
             _record_ttfo(),
         ),
         "tiered_warmup": _build_tiered_warmup,
+        "fleet_warmup": _build_fleet_warmup,
     }
     selected = families if families is not None else tuple(builders)
     unknown = [name for name in selected if name not in builders]

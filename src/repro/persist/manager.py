@@ -166,6 +166,15 @@ class PersistenceReport:
     #: their measured compile cost fell below the storage-cost floor
     #: (REPRO_PUBLISH_MIN_COST_US; zero floor admits everything).
     shared_admission_skipped: int = 0
+    #: How the shared store reached the pool: "" (no shared store),
+    #: "file" (flock-merged shard files), or "daemon" (the per-host
+    #: cache-server socket; repro.persist.daemon).  A session that
+    #: degraded mid-run reports the transport it ended on.
+    shared_transport: str = ""
+    #: Round trips to the cache-server daemon, and silent degradations
+    #: to the file path after a transport failure (0 or 1 per session).
+    daemon_rpcs: int = 0
+    daemon_fallbacks: int = 0
     #: Polymorphic indirect-branch inline-cache counters from the
     #: compiled tier (repro.vm.stats.ICStats; host-side only, zeros
     #: under interpreted dispatch).
@@ -664,6 +673,15 @@ class PersistentCacheSession:
         if store is not None and hasattr(store, "shared_hits"):
             self.report_data.shared_hits = store.shared_hits
             self.report_data.shared_misses = store.shared_misses
+        shared = self._shared_store
+        if shared is not None:
+            self.report_data.shared_transport = getattr(
+                shared, "transport", "file"
+            )
+            self.report_data.daemon_rpcs = getattr(shared, "daemon_rpcs", 0)
+            self.report_data.daemon_fallbacks = getattr(
+                shared, "daemon_fallbacks", 0
+            )
         queue = getattr(engine, "_compile_queue", None)
         if queue is not None:
             qs = queue.stats

@@ -28,8 +28,8 @@ from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.persist.database import CacheDatabase
+from repro.persist.daemon import resolve_shared_store
 from repro.persist.manager import PersistenceConfig
-from repro.persist.sharedstore import SharedBodyStore
 from repro.vm.compile import clear_code_object_cache
 from repro.vm.engine import VM_VERSION
 
@@ -124,8 +124,13 @@ class PrewarmReport:
 def _session_config(
     db_dir: str, shared_store_dir: Optional[str], readonly: bool = False
 ) -> PersistenceConfig:
+    # The spec string crosses the fork boundary verbatim; each worker
+    # resolves it itself, so ``daemon://DIR`` specs (and the
+    # REPRO_CACHE_DAEMON env knob) give every job its own client
+    # connection to the per-host cache server — or its own flock-store
+    # fallback when no daemon is listening.
     shared = (
-        SharedBodyStore(shared_store_dir, vm_version=VM_VERSION)
+        resolve_shared_store(shared_store_dir, VM_VERSION)
         if shared_store_dir
         else None
     )

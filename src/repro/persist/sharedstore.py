@@ -82,7 +82,7 @@ import struct
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.persist.sidecar import (
     CompiledBodyStore,
@@ -573,6 +573,19 @@ class SharedBodyStore:
 
     def __contains__(self, digest: str) -> bool:
         return self.lookup(digest) is not None
+
+    def iter_entries(self) -> Iterator[Tuple[str, Tuple[bytes, int, int]]]:
+        """Yield ``(digest, (blob, stamp, cost_us))`` for every body in
+        the current keytag's pool.
+
+        This is the cache-server daemon's bulk-load path: it walks every
+        shard once through the same CRC-verified, damage-quarantining
+        reader as :meth:`lookup`, so a daemon never seeds its hot index
+        from a torn or corrupted shard.
+        """
+        for prefix in self._shard_prefixes():
+            for digest, record in sorted(self._load_shard(prefix).items()):
+                yield digest, record
 
     def _load_shard(self, prefix: str) -> Dict[str, Tuple[bytes, int, int]]:
         """Parsed entries of one shard; `{}` when absent or damaged.

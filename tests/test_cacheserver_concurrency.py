@@ -1,0 +1,203 @@
+"""Multi-process stress tests for the cache-server daemon.
+
+The daemon's concurrency story layers on top of the flock store's: one
+real daemon process serves N writer and M reader client processes over
+the socket while a direct-to-files sweeper runs ``gc`` concurrently.
+The invariants are the shared store's, now through two transports at
+once:
+
+* **no torn reads** — a daemon lookup returns the exact published bytes
+  or a clean miss, never garbage, even while the flusher races direct
+  file writers;
+* **no lost publishes** — after the daemon's final flush, every digest
+  any client published over the socket is durable in the shard files;
+* **gc under load is safe** — a concurrent sweeper (which sees only the
+  files, never the hot index) cannot corrupt the store or evict a
+  referenced body;
+* the store ends ``fsck``-clean.
+
+Process counts reuse the shared-store dials: ``REPRO_STRESS_WRITERS`` /
+``REPRO_STRESS_READERS`` / ``REPRO_STRESS_ROUNDS``.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.persist.cacheserver import CacheServer, default_socket_path
+from repro.persist.daemon import DaemonBackedStore, DaemonClient, DaemonError
+from repro.persist.sharedstore import SharedBodyStore
+from repro.vm.engine import VM_VERSION
+
+from tests.test_sharedstore import write_reference_index
+from tests.test_sharedstore_concurrency import (
+    DIGEST_SPACE,
+    ROUNDS,
+    WRITERS,
+    READERS,
+    gc_worker,
+    mp_context,
+    run_workers,
+    stress_blob,
+    stress_digest,
+)
+
+pytestmark = pytest.mark.faultinject
+
+
+def daemon_proc(store_dir: str) -> None:
+    """The daemon process body: serve until a client sends shutdown."""
+    CacheServer(store_dir, vm_version=VM_VERSION,
+                flush_interval_s=0.1).serve_forever()
+
+
+def daemon_writer_worker(store_dir: str, seed: int, rounds: int) -> None:
+    """Like the flock writer_worker, but publishing over the socket.
+
+    Falling back to the files is *allowed* (that is the contract), but
+    in this controlled run the daemon stays up, so the worker asserts
+    the socket actually carried its traffic.
+    """
+    store = DaemonBackedStore(store_dir, VM_VERSION, timeout_s=10.0)
+    for round_no in range(rounds):
+        start = (seed * 7 + round_no * 11) % DIGEST_SPACE
+        batch = {}
+        costs = {}
+        for k in range(DIGEST_SPACE // 2):
+            digest = stress_digest((start + k) % DIGEST_SPACE)
+            batch[digest] = stress_blob(digest)
+            costs[digest] = 50 + k
+        store.publish(batch, costs=costs)
+    if store.transport != "daemon":
+        raise AssertionError("daemon writer degraded to the file path")
+
+
+def daemon_reader_worker(store_dir: str, rounds: int) -> None:
+    """Poll every digest over the socket; exact bytes or clean miss."""
+    store = DaemonBackedStore(store_dir, VM_VERSION, timeout_s=10.0)
+    for _ in range(rounds * 4):
+        for i in range(DIGEST_SPACE):
+            digest = stress_digest(i)
+            blob = store.lookup(digest)
+            if blob is not None and blob != stress_blob(digest):
+                raise AssertionError("torn read for %s" % digest)
+    if store.transport != "daemon":
+        raise AssertionError("daemon reader degraded to the file path")
+
+
+def file_writer_worker(store_dir: str, seed: int, rounds: int) -> None:
+    """A mixed-fleet writer publishing straight to the files while the
+    daemon is live — its bodies must flow through the heal-on-miss path."""
+    store = SharedBodyStore(store_dir, vm_version=VM_VERSION)
+    for round_no in range(rounds):
+        start = (seed * 13 + round_no * 5) % DIGEST_SPACE
+        batch = {}
+        for k in range(DIGEST_SPACE // 4):
+            digest = stress_digest((start + k) % DIGEST_SPACE)
+            batch[digest] = stress_blob(digest)
+        store.publish(batch)
+
+
+def start_daemon(store_dir: str):
+    ctx = mp_context()
+    proc = ctx.Process(target=daemon_proc, args=(store_dir,), daemon=True)
+    proc.start()
+    address = default_socket_path(store_dir)
+    deadline = time.monotonic() + 15.0
+    while time.monotonic() < deadline:
+        client = DaemonClient(address, vm_version=VM_VERSION, timeout_s=0.5)
+        try:
+            client.ping()
+            return proc, address
+        except DaemonError:
+            time.sleep(0.05)
+        finally:
+            client.close()
+    proc.terminate()
+    raise AssertionError("daemon never came up at %s" % address)
+
+
+def stop_daemon(proc, address: str) -> None:
+    client = DaemonClient(address, vm_version=VM_VERSION, timeout_s=5.0)
+    try:
+        client.request("flush")
+        client.request("shutdown")
+    except DaemonError:
+        pass  # already gone: the join below settles it
+    finally:
+        client.close()
+    proc.join(timeout=30)
+    assert proc.exitcode == 0, "daemon exited %s" % proc.exitcode
+
+
+def test_socket_writers_lose_nothing_after_final_flush(tmp_path):
+    store_dir = str(tmp_path / "store")
+    SharedBodyStore(store_dir, vm_version=VM_VERSION)
+    proc, address = start_daemon(store_dir)
+    try:
+        run_workers(
+            [(daemon_writer_worker, (store_dir, seed, ROUNDS))
+             for seed in range(WRITERS)]
+        )
+    finally:
+        stop_daemon(proc, address)
+    # serve_forever's clean stop flushed; every socket publish is now in
+    # the shard files, visible with no daemon anywhere.
+    store = SharedBodyStore(store_dir, vm_version=VM_VERSION)
+    for i in range(DIGEST_SPACE):
+        digest = stress_digest(i)
+        assert store.lookup(digest) == stress_blob(digest), digest
+    assert store.fsck().clean
+
+
+def test_mixed_transports_with_concurrent_gc_stay_sound(tmp_path):
+    """Socket writers + direct file writers + socket readers + a gc
+    sweeper, all at once.  Referenced digests survive, reads are never
+    torn through either transport, and the store ends clean."""
+    store_dir = str(tmp_path / "store")
+    store = SharedBodyStore(store_dir, vm_version=VM_VERSION)
+    db_dir = str(tmp_path / "db")
+    write_reference_index(
+        db_dir, [stress_digest(i) for i in range(DIGEST_SPACE)]
+    )
+    store.register_database(db_dir)
+    proc, address = start_daemon(store_dir)
+    try:
+        run_workers(
+            [(daemon_writer_worker, (store_dir, seed, ROUNDS))
+             for seed in range(max(2, WRITERS - 1))]
+            + [(file_writer_worker, (store_dir, 99, ROUNDS))]
+            + [(gc_worker, (store_dir, ROUNDS * 2))]
+            + [(daemon_reader_worker, (store_dir, ROUNDS))
+               for _ in range(max(1, READERS - 1))]
+        )
+    finally:
+        stop_daemon(proc, address)
+    final = SharedBodyStore(store_dir, vm_version=VM_VERSION)
+    for i in range(DIGEST_SPACE):
+        digest = stress_digest(i)
+        assert final.lookup(digest) == stress_blob(digest), digest
+    assert final.fsck().clean
+
+
+def test_reader_heals_direct_file_publishes_through_the_daemon(tmp_path):
+    """A body published straight to the files while the daemon is live
+    must be served over the socket via heal-on-miss — the mixed-fleet
+    case where only some sessions attached to the daemon."""
+    store_dir = str(tmp_path / "store")
+    SharedBodyStore(store_dir, vm_version=VM_VERSION)
+    proc, address = start_daemon(store_dir)
+    try:
+        direct = SharedBodyStore(store_dir, vm_version=VM_VERSION)
+        digest = stress_digest(0)
+        direct.publish({digest: stress_blob(digest)})
+        client_store = DaemonBackedStore(store_dir, VM_VERSION,
+                                         timeout_s=10.0)
+        assert client_store.transport == "daemon"
+        assert client_store.lookup(digest) == stress_blob(digest)
+        assert client_store.transport == "daemon"  # served via socket
+    finally:
+        stop_daemon(proc, address)
+    assert SharedBodyStore(store_dir, vm_version=VM_VERSION).fsck().clean

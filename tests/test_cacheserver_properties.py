@@ -1,0 +1,197 @@
+"""Property-based tests for the PCSD1 wire protocol and the daemon's
+hot index.
+
+Two invariants, each pushed through random inputs:
+
+* **Framing**: ``parse_frame(pack_frame(...))`` is the identity on
+  ``(op, meta, entries)`` — including four-element PCSS1-shape records
+  with an implied cost of 0 — and *every* single-byte flip of a packed
+  frame is detected (the preamble's reserved field must be zero exactly
+  so this holds; no flip can hide).
+* **Hot index vs. disk**: after any interleaving of publish / lookup /
+  touch / flush frames against a socketless :class:`CacheServer`, a
+  final flush leaves every hot body bit-identical on disk, the byte cap
+  honored, and ``fsck`` clean — the daemon can never invent state the
+  flock store would not have.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import struct
+import tempfile
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.persist.cacheserver import (
+    FRAME_PREAMBLE,
+    CacheServer,
+    DaemonProtocolError,
+    pack_frame,
+    parse_frame,
+)
+from repro.persist.sharedstore import SharedBodyStore
+from repro.vm.engine import VM_VERSION
+
+pytestmark = pytest.mark.faultinject
+
+#: Same dense digest universe as the shared-store properties: a few
+#: shards, lots of collisions.
+DIGESTS = tuple("%02x%062x" % (i % 4, i) for i in range(12))
+
+
+def body_of(digest: str) -> bytes:
+    return (b"canonical:" + digest.encode()) * 2
+
+
+# -- framing ------------------------------------------------------------------
+
+META = st.dictionaries(
+    st.text(min_size=1, max_size=8),
+    st.one_of(st.integers(-2**31, 2**31), st.text(max_size=16),
+              st.booleans()),
+    max_size=4,
+)
+
+ENTRIES = st.dictionaries(
+    st.sampled_from(DIGESTS),
+    st.tuples(st.binary(max_size=200), st.integers(0, 2**31),
+              st.integers(0, 2**20)),
+    max_size=6,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(op=st.sampled_from(["ping", "lookup", "publish", "bodies"]),
+       meta=META, entries=ENTRIES)
+def test_frame_round_trip(op, meta, entries):
+    out_op, out_meta, out_entries = parse_frame(
+        pack_frame(op, meta, entries)
+    )
+    assert out_op == op
+    assert out_meta == meta
+    assert out_entries == {
+        digest: (blob, stamp, cost)
+        for digest, (blob, stamp, cost) in entries.items()
+    }
+
+
+def test_four_element_records_parse_with_cost_zero():
+    """Hand-build a frame whose records use the pre-cost PCSS1 shape:
+    the parser must accept it with an implied cost_us of 0."""
+    blob = b"legacy-body"
+    header = {
+        "op": "bodies",
+        "meta": {},
+        "records": [[DIGESTS[0], 0, len(blob), 1234]],  # len-4 record
+    }
+    header_blob = json.dumps(header, sort_keys=True).encode()
+    payload = struct.pack("<I", len(header_blob)) + header_blob + blob
+    import zlib
+
+    frame = FRAME_PREAMBLE.pack(
+        b"PCSD", 1, 0, len(payload), zlib.crc32(payload) & 0xFFFFFFFF
+    ) + payload
+    op, _meta, entries = parse_frame(frame)
+    assert op == "bodies"
+    assert entries == {DIGESTS[0]: (blob, 1234, 0)}
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    entries=ENTRIES,
+    flip=st.tuples(st.integers(0, 2**16), st.integers(1, 255)),
+)
+def test_every_single_byte_flip_is_detected(entries, flip):
+    """One flipped byte anywhere in a frame must never parse clean.
+
+    This is why the preamble's reserved field is *enforced* zero: were
+    it ignored, a flip landing there would slide through undetected.
+    """
+    frame = bytearray(pack_frame("publish", {"touch": []}, entries))
+    offset, xor = flip
+    frame[offset % len(frame)] ^= xor
+    with pytest.raises(DaemonProtocolError):
+        parse_frame(bytes(frame))
+
+
+@settings(max_examples=40, deadline=None)
+@given(cut=st.integers(0, 2**16))
+def test_any_truncation_is_detected(cut):
+    frame = pack_frame(
+        "bodies", {"count": 1}, {DIGESTS[0]: (body_of(DIGESTS[0]), 7, 5)}
+    )
+    prefix = frame[: cut % len(frame)]  # strictly shorter than the frame
+    with pytest.raises(DaemonProtocolError):
+        parse_frame(prefix)
+
+
+# -- hot index consistency ----------------------------------------------------
+
+OPS = st.one_of(
+    st.tuples(st.just("publish"), st.lists(
+        st.integers(0, len(DIGESTS) - 1), min_size=1, max_size=6)),
+    st.tuples(st.just("touch"), st.lists(
+        st.integers(0, len(DIGESTS) - 1), min_size=1, max_size=4)),
+    st.tuples(st.just("lookup"), st.integers(0, len(DIGESTS) - 1)),
+    st.tuples(st.just("flush"), st.just(None)),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(OPS, min_size=1, max_size=24),
+    cap=st.one_of(st.none(), st.integers(50, 2000)),
+)
+def test_any_frame_interleaving_keeps_hot_index_consistent_with_disk(
+    ops, cap
+):
+    tmp = tempfile.mkdtemp(prefix="pcsd-prop-")
+    try:
+        ticks = iter(range(1, 10_000))
+        server = CacheServer(
+            tmp, vm_version=VM_VERSION, max_bytes=cap,
+            clock=lambda: next(ticks),
+        )
+        for opcode, payload in ops:
+            if opcode == "publish":
+                batch = {
+                    DIGESTS[i]: (body_of(DIGESTS[i]), 0, 10 + i)
+                    for i in payload
+                }
+                frame = pack_frame("publish", {"vm": VM_VERSION}, batch)
+            elif opcode == "touch":
+                frame = pack_frame(
+                    "publish",
+                    {"vm": VM_VERSION,
+                     "touch": sorted({DIGESTS[i] for i in payload})},
+                )
+            elif opcode == "lookup":
+                frame = pack_frame(
+                    "lookup",
+                    {"vm": VM_VERSION, "digests": [DIGESTS[payload]]},
+                )
+            else:
+                frame = pack_frame("flush", {"vm": VM_VERSION})
+            op, meta, entries = parse_frame(server.handle_frame(frame))
+            assert op != "error", meta
+            if opcode == "lookup":
+                for digest, (blob, _stamp, _cost) in entries.items():
+                    assert blob == body_of(digest), digest
+
+        assert server.flush() is not None  # final write-back succeeds
+        hot = server.hot_entries()
+        if cap is not None:
+            assert sum(len(r[0]) for r in hot.values()) <= cap
+
+        # Every hot body is now on disk with identical bytes, seen by a
+        # store instance with no warm shard cache.
+        fresh = SharedBodyStore(tmp, vm_version=VM_VERSION)
+        for digest, (blob, _stamp, _cost) in hot.items():
+            assert fresh.lookup(digest) == blob, digest
+        assert fresh.fsck().clean
+        assert server.dirty_count() == 0
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
