@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Persistent-cache database directory for `make fsck` (override: make fsck DB=...)
 DB ?= /tmp/pcc-db
 
-.PHONY: test faultinject benchmarks bench-wallclock fsck stress gc replay-smoke prewarm-smoke daemon-smoke
+.PHONY: test faultinject benchmarks bench-wallclock fsck stress gc replay-smoke prewarm-smoke daemon-smoke transparency-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -84,6 +84,17 @@ daemon-smoke:
 	$(PYTHON) -m repro.cli cache serve $(DSSTORE) --status
 	$(PYTHON) -m repro.cli cache serve $(DSSTORE) --stop
 	$(PYTHON) -m repro.cli cache fsck $(DSSTORE)
+
+# Transparency smoke (docs/architecture.md "Transparency guarantees"):
+# the anti-instrumentation differential suite plus the transparency
+# bench family's --check gate — every dispatch tier bit-identical to
+# the interpreted oracle on the adversarial corpus, zero stale
+# code-byte reads cold and warm (sidecar/shared store/daemon), and the
+# SMC detector engaged on every churner.
+transparency-smoke:
+	$(PYTHON) -m pytest -q tests/test_adversarial.py tests/test_smc.py
+	$(PYTHON) -m repro.cli bench --family transparency --check \
+		--warmup 1 --reps 2 --out /tmp/pcc-bench-transparency.json
 
 # Shared per-host body store directory for `make gc` (override: make gc STORE=...)
 STORE ?= /tmp/pcc-shared-store

@@ -44,6 +44,20 @@ workload families the cycle-level benchmarks regenerate from the paper:
   ``oracle_identical`` flag (linked runs compared field-for-field
   against the interpreted oracle) so the win is auditable: stable
   chains must show zero dispatcher bounces and fused regions.
+* ``transparency``: the anti-instrumentation corpus
+  (:mod:`repro.workloads.adversarial`) — self-checksumming readers, SMC
+  churners (hot, region-fused, page-boundary-straddling), a clock
+  probe, and dlopen/dlclose+SMC interleavings.  Timed modes are plain
+  interpreted vs. compiled dispatch; the report's point is the extras:
+  every workload compared field-for-field against the interpreted
+  oracle under compiled, linked, and background-compile dispatch, the
+  self-observing workloads compared byte-for-byte against the *native*
+  oracle (``stale_reads`` counts mismatches — one stale code byte read
+  via ``LD`` or one missed invalidation changes the folded output),
+  per-churner ``smc_invalidations`` (must be nonzero), and a warm
+  restart of the self-observing corpus over the sidecar, the shared
+  per-host store, and the cache-server daemon (bit-identical output
+  required — a persisted trace must not resurrect pre-SMC code).
 * ``tiered_warmup``: the startup-heavy corpus
   (:mod:`repro.workloads.warmup`) cold (factory memo cleared per rep),
   synchronous vs. background compilation (``VMConfig.compile_mode``).
@@ -950,6 +964,164 @@ def _tiered_warmup_sweep(scratch_dir: str):
     return sweep, extras, ttfo
 
 
+def _transparency_sweep(scratch_dir: str):
+    """The anti-instrumentation corpus under attack-grade scrutiny.
+
+    The timed sweep is plain interpreted vs. compiled dispatch over the
+    whole adversarial suite.  The extras carry the actual transparency
+    audit:
+
+    * every workload's full signature (output, exit status, every
+      VMStats counter) under compiled, linked, and background-compile
+      dispatch against the interpreted oracle;
+    * the self-observing workloads (everything but the clock probe)
+      byte-compared against the *native* oracle — their outputs fold
+      every code byte they read and every self-write they observe, so
+      ``stale_reads`` counts runs where the VM let a stale byte
+      through;
+    * per-churner ``smc_invalidations`` (a churner that triggers zero
+      invalidations means the SMC detector never saw its stores);
+    * a warm restart of the self-observing corpus over all three
+      persistence transports (sidecar, shared flock store, cache-server
+      daemon), each warm output compared byte-for-byte against the cold
+      run — a revived trace must not resurrect pre-SMC code.
+
+    The clock probe is timed but exempt from the native comparison and
+    the warm-restart check by design: its output embeds raw
+    ``SYS_CLOCK`` deltas, which legitimately differ native vs. VM (the
+    probe *detects* the DBI's cost — transparency here means the deltas
+    are bit-identical across all four VM tiers, which the oracle check
+    enforces) and cold vs. warm (persisted traces change the cost of a
+    run; that is the point of the cache).
+    """
+    from repro.persist.cacheserver import CacheServer
+    from repro.persist.daemon import resolve_shared_store
+    from repro.persist.sharedstore import SharedBodyStore
+    from repro.vm.compile import clear_code_object_cache
+    from repro.vm.engine import VM_VERSION
+    from repro.workloads.adversarial import (
+        CHURN_WORKLOADS,
+        PERSISTED_WORKLOADS,
+        build_adversarial_suite,
+    )
+    from repro.workloads.harness import run_native
+
+    suite = build_adversarial_suite()
+    ordered = sorted(suite.items())
+
+    def sweep(mode: str) -> list:
+        clear_code_object_cache()
+        return [run_vm(wl, "run", vm_config=_config(mode))
+                for _name, wl in ordered]
+
+    tier_configs = {
+        "compiled": VMConfig(dispatch_mode="compiled", trace_linking=False),
+        "linked": VMConfig(dispatch_mode="compiled", trace_linking=True),
+        "background": VMConfig(
+            dispatch_mode="compiled", compile_mode="background",
+            compile_queue_depth=512,
+        ),
+    }
+
+    def extras() -> Dict[str, object]:
+        oracle_failures: List[str] = []
+        stale_reads = 0
+        churn_smc: Dict[str, int] = {}
+        for name, wl in ordered:
+            native = run_native(wl, "run")
+            clear_code_object_cache()
+            oracle = run_vm(
+                wl, "run", vm_config=VMConfig(dispatch_mode="interpreted")
+            )
+            oracle_sig = _result_signature(oracle)
+            if name != "timer" and (
+                (oracle.output, oracle.exit_status)
+                != (native.output, native.exit_status)
+            ):
+                stale_reads += 1
+            for tier, config in tier_configs.items():
+                clear_code_object_cache()
+                result = run_vm(wl, "run", vm_config=config)
+                if _result_signature(result) != oracle_sig:
+                    oracle_failures.append("%s/%s" % (name, tier))
+                elif name != "timer" and (
+                    (result.output, result.exit_status)
+                    != (native.output, native.exit_status)
+                ):
+                    stale_reads += 1
+            if name in CHURN_WORKLOADS:
+                churn_smc[name] = oracle.stats.smc_invalidations
+
+        # Warm restart over all three transports: the adversarial
+        # corpus's code observations must survive persistence.
+        store_dir = os.path.join(scratch_dir, "transparency-store")
+        shared = SharedBodyStore(store_dir, vm_version=VM_VERSION)
+        warm_failures: List[str] = []
+        warm_preloaded = 0
+        server = CacheServer(store_dir, vm_version=VM_VERSION)
+        server.start()
+        try:
+            daemon_store = resolve_shared_store(
+                "daemon://" + store_dir, VM_VERSION
+            )
+            for name in PERSISTED_WORKLOADS:
+                wl = suite[name]
+                db_dir = os.path.join(scratch_dir, "transparency-" + name)
+                donor = CacheDatabase(db_dir, shared_store=shared)
+                clear_code_object_cache()
+                cold = run_vm(
+                    wl, "run",
+                    persistence=PersistenceConfig(database=donor,
+                                                  sidecar=True),
+                    vm_config=_config("compiled"),
+                )
+                cold_sig = (cold.output, cold.exit_status)
+                warm_configs = {
+                    "sidecar": PersistenceConfig(
+                        database=CacheDatabase(db_dir, shared_store=shared),
+                        sidecar=True,
+                    ),
+                    "shared": PersistenceConfig(
+                        database=CacheDatabase(db_dir), readonly=True,
+                        shared_store=shared,
+                    ),
+                    "daemon": PersistenceConfig(
+                        database=CacheDatabase(db_dir), readonly=True,
+                        shared_store=daemon_store,
+                    ),
+                }
+                for transport, persistence in warm_configs.items():
+                    clear_code_object_cache()
+                    warm = run_vm(
+                        wl, "run", persistence=persistence,
+                        vm_config=_config("compiled"),
+                    )
+                    warm_preloaded += warm.stats.traces_from_persistent
+                    if (warm.output, warm.exit_status) != cold_sig:
+                        warm_failures.append("%s/%s" % (name, transport))
+                        stale_reads += 1
+        finally:
+            server.stop()
+
+        return {
+            "oracle_identical": not oracle_failures,
+            "oracle_failures": oracle_failures,
+            "stale_reads": stale_reads,
+            "churn_smc": churn_smc,
+            "smc_ok": all(count > 0 for count in churn_smc.values())
+            and set(churn_smc) == set(CHURN_WORKLOADS),
+            "warm_identical": not warm_failures,
+            "warm_failures": warm_failures,
+            "warm_preloaded": warm_preloaded,
+        }
+
+    ttfo = _ttfo_probe(
+        suite["checksum"], "run",
+        pre=lambda mode: clear_code_object_cache(),
+    )
+    return sweep, extras, ttfo
+
+
 def _merge_existing(
     out_path: str, results: Dict[str, object]
 ) -> Dict[str, object]:
@@ -1018,6 +1190,10 @@ def run_wallclock(
         sweep, extras, ttfo = _tiered_warmup_sweep(scratch_dir)
         return sweep, ("sync", "background"), extras, ttfo
 
+    def _build_transparency():
+        sweep, extras, ttfo = _transparency_sweep(scratch_dir)
+        return sweep, _MODES, extras, ttfo
+
     def _build_fleet_warmup():
         # No TTFO probe: the family's headline is the N-process fleet
         # wall clock plus the per-lookup latency extras (the daemon's
@@ -1045,6 +1221,7 @@ def run_wallclock(
         ),
         "tiered_warmup": _build_tiered_warmup,
         "fleet_warmup": _build_fleet_warmup,
+        "transparency": _build_transparency,
     }
     selected = families if families is not None else tuple(builders)
     unknown = [name for name in selected if name not in builders]

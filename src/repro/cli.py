@@ -602,7 +602,7 @@ def cmd_bench(args) -> int:
         return "%.3f/%.3f" % (base, cont)
 
     tier_rows, sidecar_rows, shared_rows, record_rows = [], [], [], []
-    link_rows, warmup_rows, fleet_rows = [], [], []
+    link_rows, warmup_rows, fleet_rows, transparency_rows = [], [], [], []
     for name, family in sorted(results["workloads"].items()):
         if "sync_s" in family:
             # The tiered-warmup family's headline is TTFO, not sweep
@@ -698,6 +698,27 @@ def cmd_bench(args) -> int:
                     "identical": str(family["identical_results"]),
                 }
             )
+        elif "stale_reads" in family:
+            # The transparency family's headline is the audit, not the
+            # sweep time: oracle identity across dispatch tiers, zero
+            # stale code-byte reads, engaged SMC detection, and
+            # bit-identical warm restarts over every transport.
+            churn_smc = family.get("churn_smc") or {}
+            transparency_rows.append(
+                {
+                    "workload": name,
+                    "interpreted_s": "%.3f" % family["interpreted_s"],
+                    "compiled_s": "%.3f" % family["compiled_s"],
+                    "stale_reads": "%d" % family["stale_reads"],
+                    "smc_inval": "%d" % sum(churn_smc.values()),
+                    "warm": str(family["warm_identical"]),
+                    "ttfo_s": ttfo_cell(family, "interpreted", "compiled"),
+                    "identical": str(
+                        family["identical_results"]
+                        and family["oracle_identical"]
+                    ),
+                }
+            )
         elif "interpreted_s" in family:
             tier_rows.append(
                 {
@@ -784,6 +805,19 @@ def cmd_bench(args) -> int:
             title="Fleet warm-up: flock store vs. cache-server daemon "
                   "(per-lookup p50 flock/daemon)",
         ))
+    if transparency_rows:
+        print(format_table(
+            transparency_rows,
+            columns=["workload", "interpreted_s", "compiled_s",
+                     "stale_reads", "smc_inval", "warm", "ttfo_s",
+                     "identical"],
+            title="Transparency under attack: anti-instrumentation corpus",
+        ))
+        tr_family = results["workloads"].get("transparency")
+        if tr_family and tr_family.get("churn_smc"):
+            print("transparency SMC churners (interpreted oracle):")
+            for corpus, count in sorted(tr_family["churn_smc"].items()):
+                print("  %-15s invalidations %d" % (corpus, count))
     tw_family = results["workloads"].get("tiered_warmup")
     if tw_family and tw_family.get("prewarm_jobs_sweep"):
         queue = tw_family.get("queue") or {}
@@ -998,6 +1032,37 @@ def cmd_bench(args) -> int:
                "PASS" if fleet_ok else "FAIL")
         )
         if not fleet_ok:
+            return 1
+    if args.check and "transparency" in results["workloads"]:
+        family = results["workloads"]["transparency"]
+        # The transparency acceptance gate: every dispatch tier
+        # bit-identical to the interpreted oracle (output, exit status,
+        # every VMStats counter), zero stale code-byte reads against
+        # the native oracle (cold and across every warm transport),
+        # the SMC detector engaged on every churner, and warm restarts
+        # that actually revived persisted traces.
+        churn_smc = family.get("churn_smc") or {}
+        transparency_ok = (
+            family["identical_results"]
+            and family["oracle_identical"]
+            and family["stale_reads"] == 0
+            and family["smc_ok"]
+            and family["warm_identical"]
+            and family["warm_preloaded"] > 0
+        )
+        print(
+            "transparency: identical=%s oracle=%s stale reads=%d "
+            "churn invalidations=%d warm=%s (preloaded %d) -> %s"
+            % (family["identical_results"], family["oracle_identical"],
+               family["stale_reads"], sum(churn_smc.values()),
+               family["warm_identical"], family["warm_preloaded"],
+               "PASS" if transparency_ok else "FAIL")
+        )
+        for failure in family.get("oracle_failures") or []:
+            print("  oracle divergence: %s" % failure)
+        for failure in family.get("warm_failures") or []:
+            print("  warm divergence: %s" % failure)
+        if not transparency_ok:
             return 1
     if args.check:
         # Noise advisory (never flips the exit code): a family whose
@@ -1222,7 +1287,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "sidecar_cold_warm", "shared_store",
                               "indirect_heavy", "record_overhead",
                               "trace_linking", "tiered_warmup",
-                              "fleet_warmup"),
+                              "fleet_warmup", "transparency"),
                      help="run only this family (repeatable; default all)")
     sub.add_argument("--out", metavar="PATH",
                      help="result JSON path (default BENCH_wallclock.json "

@@ -286,17 +286,30 @@ class Machine:
 
     def on_code_write(self, addr: int) -> None:
         """A store hit a page we executed code from: purge the decode
-        caches for that page and notify listeners (the VM evicts traces).
+        caches for every page the 8-byte write touches and notify
+        listeners once per page (the VM evicts traces).
+
+        A word store at ``page_end - 4`` modifies the following page
+        too; treating the write as single-page left stale decodes and
+        stale compiled traces live on the second page.
         """
-        page = addr >> CODE_PAGE_SHIFT
-        self.modified_code_pages.add(page)
-        start = page << CODE_PAGE_SHIFT
-        end = start + (1 << CODE_PAGE_SHIFT)
-        for cached_pc in [pc for pc in self.decode_cache if start <= pc < end]:
-            del self.decode_cache[cached_pc]
-            self.uop_cache.pop(cached_pc, None)
-        for listener in self.code_write_listeners:
-            listener(addr)
+        first = addr >> CODE_PAGE_SHIFT
+        last = (addr + 7) >> CODE_PAGE_SHIFT
+        for page in range(first, last + 1):
+            self.modified_code_pages.add(page)
+            start = page << CODE_PAGE_SHIFT
+            end = start + (1 << CODE_PAGE_SHIFT)
+            for cached_pc in [
+                pc for pc in self.decode_cache if start <= pc < end
+            ]:
+                del self.decode_cache[cached_pc]
+                self.uop_cache.pop(cached_pc, None)
+            # Listeners key their eviction off the page containing the
+            # address they receive, so each touched page gets its own
+            # notification with an address inside that page.
+            page_addr = addr if page == first else start
+            for listener in self.code_write_listeners:
+                listener(page_addr)
 
     def fetch_uop(self, pc: int):
         """Fetch + decode to a micro-op tuple (memoized)."""
@@ -462,7 +475,12 @@ class ExecutionContext:
                 machine.process.space.write_word(addr, r[rs2])
             except Exception as exc:
                 raise MachineFault(str(exc), pc) from exc
-            if (addr >> CODE_PAGE_SHIFT) in machine.executed_code_pages:
+            # An 8-byte store may straddle a 512-byte page boundary, so
+            # both the first and last written byte's pages are checked.
+            pages = machine.executed_code_pages
+            if (addr >> CODE_PAGE_SHIFT) in pages or (
+                (addr + 7) >> CODE_PAGE_SHIFT
+            ) in pages:
                 machine.on_code_write(addr)
             return next_pc, None
         elif op == _MOVI:
@@ -609,7 +627,16 @@ class Interpreter:
         self.cycles = 0.0
         self.instructions = 0
         self.exit_status = 0
-        machine.os_state.clock = lambda: self.cycles
+        # Instructions retired by the in-flight run() loop but not yet
+        # folded into self.cycles (that fold happens once, after the
+        # loop).  Without this term a mid-run SYS_CLOCK would read only
+        # accumulated syscall cost — a spin loop of a million
+        # instructions would see a clock of ~0.
+        self._live_steps = 0
+        native_inst = cost_model.native_inst
+        machine.os_state.clock = (
+            lambda: self.cycles + self._live_steps * native_inst
+        )
 
     def run(self, entry: Optional[int] = None) -> RunResult:
         """Execute from ``entry`` (default: the process entry) to exit."""
@@ -622,10 +649,17 @@ class Interpreter:
         pc: Optional[int] = (
             entry if entry is not None else self.machine.process.entry_address
         )
+        self._live_steps = 0
         while pc is not None:
             if steps >= budget:
                 raise MachineFault("instruction budget exhausted", pc)
-            pc, event = step_uop(fetch_uop(pc), pc)
+            uop = fetch_uop(pc)
+            if uop[0] == _SYSCALL:
+                # Publish the live retired-instruction count so a
+                # SYS_CLOCK dispatched inside step_uop reads a clock
+                # that advances with the instructions executed so far.
+                self._live_steps = steps
+            pc, event = step_uop(uop, pc)
             steps += 1
             if event is not None and event.syscall is not None:
                 self.cycles += cost.native_syscall
@@ -638,6 +672,7 @@ class Interpreter:
                         self.exit_status = status
         self.instructions += steps
         self.cycles += steps * cost.native_inst
+        self._live_steps = 0
         os_state = self.machine.os_state
         return RunResult(
             exit_status=self.exit_status,

@@ -56,11 +56,19 @@ class CodeCache:
         self,
         code_capacity: int = DEFAULT_CODE_POOL_BYTES,
         data_capacity: int = DEFAULT_DATA_POOL_BYTES,
+        page_tracker: Optional[set] = None,
     ):
         if code_capacity <= 0 or data_capacity <= 0:
             raise ValueError("pool capacities must be positive")
         self.code_capacity = code_capacity
         self.data_capacity = data_capacity
+        #: Machine-owned set of executed-code page numbers.  The SMC
+        #: detector only watches pages in this set, so *every* page a
+        #: resident trace covers must be in it — including traces that
+        #: arrive without a fresh translation (module-retention revival,
+        #: persistent-cache preload), whose pages ``Machine.fetch``
+        #: never saw (or saw before a dlclose discarded the tracking).
+        self.page_tracker = page_tracker
         self.code_used = 0
         self.data_used = 0
         self.stats = CodeCacheStats()
@@ -127,6 +135,12 @@ class CodeCache:
         self.data_used += translated.data_size
         self._by_entry[entry] = translated
         self.stats.traces_inserted += 1
+        if self.page_tracker is not None:
+            from repro.machine.cpu import CODE_PAGE_SHIFT
+
+            first = translated.trace.entry >> CODE_PAGE_SHIFT
+            last = (translated.trace.end - 1) >> CODE_PAGE_SHIFT
+            self.page_tracker.update(range(first, last + 1))
 
         patches = 0
         # Incoming: every pending exit that targets this entry.  The

@@ -780,7 +780,13 @@ class TraceCompiler:
                 emit.emit("write_word(addr, r[%d])" % rs2, 3)
                 emit.emit("except Exception as exc:")
                 emit.emit("raise MachineFault(str(exc), %d) from exc" % pc, 3)
-                emit.emit("if (addr >> %d) in pages:" % CODE_PAGE_SHIFT)
+                # Check the pages of both the first and last written
+                # byte: an 8-byte store may straddle a page boundary.
+                emit.emit(
+                    "if (addr >> %d) in pages or"
+                    " ((addr + 7) >> %d) in pages:"
+                    % (CODE_PAGE_SHIFT, CODE_PAGE_SHIFT)
+                )
                 emit.emit("code_write(addr)", 3)
             elif op == _DIV:
                 uses.add("MachineFault")
